@@ -1,0 +1,43 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark runs one experiment from :mod:`repro.bench.experiments`
+(one per table/figure of the paper), records the reproduced series in
+``benchmark.extra_info``, prints the table, and asserts the *shape*
+invariants the paper reports (who wins, orderings, crossovers) — not
+absolute numbers, which depend on the calibrated simulated testbed.
+"""
+
+import pytest
+
+from repro.bench.report import format_result
+
+#: formatted tables collected across the session, replayed uncaptured in
+#: the terminal summary so `pytest benchmarks/ --benchmark-only` output
+#: carries every reproduced figure.
+_TABLES: list[str] = []
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment function once under pytest-benchmark."""
+
+    def _run(fn):
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+        benchmark.extra_info["experiment"] = result.experiment_id
+        benchmark.extra_info["rows"] = result.rows
+        table = format_result(result)
+        _TABLES.append(table)
+        print()
+        print(table)
+        return result
+
+    return _run
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.section("reproduced tables and figures")
+    for table in _TABLES:
+        terminalreporter.write_line(table)
+        terminalreporter.write_line("")

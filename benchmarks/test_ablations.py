@@ -1,0 +1,66 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from repro.bench.ablations import (
+    adaptive_loading_study,
+    compression_study,
+    l2_tier_study,
+    markov_width_study,
+    replacement_policy_study,
+    stream_batch_size_study,
+)
+
+
+def test_replacement_policies(run_experiment):
+    result = run_experiment(replacement_policy_study)
+    misses = {row["policy"]: row["misses"] for row in result.rows}
+    # Paper §4.2: FBR produced the fewest misses on CFD request streams.
+    assert misses["fbr"] == min(misses.values())
+
+
+def test_l2_tier(run_experiment):
+    result = run_experiment(l2_tier_study)
+    l1_only = result.row_for(config="L1 only")
+    two_tier = result.row_for(config="L1 + L2 disk tier")
+    # The disk tier absorbs L1 spills: no fileserver re-reads, faster run.
+    assert two_tier["misses"] < l1_only["misses"]
+    assert two_tier["runtime_s"] < l1_only["runtime_s"]
+    assert two_tier["l2_hits"] > 0
+
+
+def test_adaptive_loading(run_experiment):
+    result = run_experiment(adaptive_loading_study)
+    adaptive = result.row_for(selector="adaptive")
+    pinned = result.row_for(selector="fileserver only")
+    # Cooperative node transfers pay off when workers share blocks.
+    assert adaptive["node_transfers"] > 0
+    assert adaptive["runtime_s"] < pinned["runtime_s"]
+    assert adaptive["fileserver_loads"] < pinned["fileserver_loads"]
+
+
+def test_stream_batch_size(run_experiment):
+    result = run_experiment(stream_batch_size_study)
+    rows = sorted(result.rows, key=lambda r: r["max_triangles"])
+    # Smaller fragments: earlier first image, more packets.
+    assert rows[0]["latency_s"] <= rows[-1]["latency_s"]
+    assert rows[0]["packets"] > rows[-1]["packets"]
+    # The per-packet overhead makes tiny fragments cost total runtime.
+    assert rows[0]["total_s"] >= rows[-1]["total_s"]
+
+
+def test_markov_width(run_experiment):
+    result = run_experiment(markov_width_study)
+    rows = sorted(result.rows, key=lambda r: r["width"])
+    # Wider prediction wastes more speculative reads...
+    assert rows[-1]["wasted"] >= rows[0]["wasted"]
+    # ...without a runtime win on the saturated fileserver.
+    assert rows[-1]["runtime_s"] >= rows[0]["runtime_s"] * 0.98
+
+
+def test_compression(run_experiment):
+    result = run_experiment(compression_study)
+    # Paper §4.3's conclusion holds where the cooperative cache lives:
+    # on the fast message-passing fabric compression never pays.
+    for row in result.rows:
+        if row["link"].startswith("fabric"):
+            assert row["worthwhile"] is False
+            assert row["compressed_ms"] > row["plain_ms"]

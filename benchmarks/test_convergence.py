@@ -1,0 +1,34 @@
+"""Numerical-verification benchmarks: kernels converge at expected order."""
+
+from repro.bench.convergence import (
+    isosurface_area_convergence,
+    lambda2_convergence,
+    pathline_tolerance_study,
+)
+
+
+def test_isosurface_area_second_order(run_experiment):
+    result = run_experiment(isosurface_area_convergence)
+    errors = result.column("rel_error")
+    assert errors == sorted(errors, reverse=True)  # monotone refinement
+    assert errors[-1] < 5e-3
+    final_order = result.rows[-1]["observed_order"]
+    assert 1.5 < final_order < 3.0
+
+
+def test_lambda2_second_order(run_experiment):
+    result = run_experiment(lambda2_convergence)
+    errors = result.column("rms_interior_error")
+    assert errors == sorted(errors, reverse=True)
+    assert errors[-1] < 0.05
+    final_order = result.rows[-1]["observed_order"]
+    assert 1.2 < final_order < 3.5
+
+
+def test_pathline_closure_improves_with_tolerance(run_experiment):
+    result = run_experiment(pathline_tolerance_study)
+    errors = result.column("closure_error")
+    points = result.column("n_points")
+    assert errors == sorted(errors, reverse=True)
+    assert points == sorted(points)  # tighter tolerance -> more steps
+    assert errors[-1] < 1e-4

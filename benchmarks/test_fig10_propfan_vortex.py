@@ -1,0 +1,18 @@
+"""Figure 10: Propfan, λ2 vortex extraction, total runtime."""
+
+from repro.bench.experiments import fig10_propfan_vortex_runtime
+
+
+def test_fig10(run_experiment):
+    result = run_experiment(fig10_propfan_vortex_runtime)
+    for row in result.rows:
+        assert row["VortexDataMan"] < row["SimpleVortex"]
+        assert row["StreamedVortex"] < row["SimpleVortex"]
+
+    one = result.row_for(workers=1)
+    # Paper's axis runs to 1000 s for the Propfan λ2 case.
+    assert 600.0 < one["SimpleVortex"] < 1600.0
+    # The compute-heavy command scales well with the DMS: strong
+    # speed-up from 1 to 16 workers.
+    sixteen = result.row_for(workers=16)
+    assert one["VortexDataMan"] / sixteen["VortexDataMan"] > 8.0

@@ -1,0 +1,22 @@
+"""Figure 11: Engine λ2 runtime without and with prefetching (cold cache)."""
+
+from repro.bench.experiments import fig11_vortex_prefetch
+
+
+def test_fig11(run_experiment):
+    result = run_experiment(fig11_vortex_prefetch)
+    for row in result.rows:
+        # "The computation time can be optimally overlapped with I/O":
+        # prefetching never loses.
+        assert row["with_prefetching"] <= row["without_prefetching"] * 1.02
+
+    # "The benefit by prefetching is reduced with a growing number of
+    # workers: the less time the computation takes, the lower the number
+    # of prefetches that are possible."
+    savings = [
+        row["without_prefetching"] - row["with_prefetching"] for row in result.rows
+    ]
+    assert savings[0] > 0
+    assert savings[0] >= savings[-1]
+    one = result.row_for(workers=1)
+    assert one["with_prefetching"] < 0.9 * one["without_prefetching"]

@@ -1,0 +1,20 @@
+"""Figure 12: latency times for vortex extraction (Propfan)."""
+
+from repro.bench.experiments import fig12_vortex_latency
+
+
+def test_fig12(run_experiment):
+    result = run_experiment(fig12_vortex_latency)
+    for row in result.rows:
+        # "Streaming produces first results after a very short time."
+        assert row["StreamedVortex"] < row["VortexDataMan"]
+
+    sixteen = result.row_for(workers=16)
+    # Paper text: ~45 s to the final non-streamed result vs ~4.2 s to the
+    # first streamed partial result at 16 workers — a factor ~10.
+    ratio = sixteen["VortexDataMan"] / sixteen["StreamedVortex"]
+    assert ratio > 5.0
+
+    # Streamed latency stays roughly flat in the worker count.
+    streamed = [row["StreamedVortex"] for row in result.rows]
+    assert max(streamed) / min(streamed) < 4.0

@@ -1,0 +1,22 @@
+"""Figure 13: Engine, pathlines, total runtime."""
+
+from repro.bench.experiments import fig13_pathlines_runtime
+
+
+def test_fig13(run_experiment):
+    result = run_experiment(fig13_pathlines_runtime)
+    for row in result.rows:
+        # "With fully cached data, runtimes are again reduced
+        # significantly."
+        assert row["PathlinesDataMan"] < row["SimplePathlines"]
+
+    one = result.row_for(workers=1)
+    last = result.rows[-1]
+    n1, nN = one["workers"], last["workers"]
+    # "The pathline command SimplePathlines shows bad scalability
+    # because of load imbalance": speed-up well below linear.
+    simple_speedup = one["SimplePathlines"] / last["SimplePathlines"]
+    assert simple_speedup < 0.7 * (nN / n1)
+    # "...but scalability stays bad" with the DMS too: the speed-up is
+    # limited by the slowest worker's seed mix, not the worker count.
+    assert last["SimplePathlines"] > one["SimplePathlines"] / nN

@@ -1,0 +1,23 @@
+"""Figure 14: prefetching influence on pathline computation (Engine)."""
+
+from repro.bench.experiments import fig14_pathline_prefetch
+
+
+def test_fig14(run_experiment):
+    result = run_experiment(fig14_pathline_prefetch)
+    for row in result.rows:
+        # Markov prefetching never loses on cold data...
+        assert row["with_prefetching"] <= row["without_prefetching"] * 1.05
+
+    one = result.row_for(workers=1)
+    # "...leads to runtime savings up to 40%": the one-worker case shows
+    # the largest saving, in the tens of percent.
+    assert one["saving_pct"] > 15.0
+    # Savings shrink with the worker count.
+    savings = [row["saving_pct"] for row in result.rows]
+    assert savings[0] == max(savings)
+
+    # "A maximum of 95% cache misses could be eliminated because of
+    # prefetching": after the learning phase, the uncovered-miss count
+    # collapses (we require > 60%, paper's best case was 95%).
+    assert one["misses_eliminated_after_learning_pct"] > 60.0

@@ -1,0 +1,23 @@
+"""Figure 15: isosurface component shares without and with caching."""
+
+from repro.bench.experiments import fig15_component_breakdown
+
+
+def test_fig15(run_experiment):
+    result = run_experiment(fig15_component_breakdown)
+    simple = result.row_for(command="SimpleIso")
+    dataman = result.row_for(command="IsoDataMan")
+
+    # SimpleIso: compute and read each about half the time, send tiny
+    # (paper: 50 / 49 / 1).
+    assert 35.0 < simple["compute_pct"] < 65.0
+    assert 35.0 < simple["read_pct"] < 65.0
+    assert simple["send_pct"] < 10.0
+
+    # IsoDataMan: caching removes the read share almost entirely and
+    # compute dominates (paper: 85 / 5 / 10).
+    assert dataman["compute_pct"] > 80.0
+    assert dataman["read_pct"] < 10.0
+    assert dataman["read_pct"] < simple["read_pct"] / 4
+    # "The result is a better utilization of computing power."
+    assert dataman["compute_pct"] > simple["compute_pct"]

@@ -1,0 +1,31 @@
+"""Figure 6: Engine, isosurface, total runtime vs. number of workers."""
+
+from repro.bench.experiments import fig6_engine_iso_runtime
+
+
+def test_fig6(run_experiment):
+    result = run_experiment(fig6_engine_iso_runtime)
+    for row in result.rows:
+        # "The great impact of data loading can be realized by the DMS
+        # enabled version IsoDataMan" — DMS beats the no-DMS baseline
+        # at every worker count.
+        assert row["IsoDataMan"] < row["SimpleIso"]
+        # ViewerIso carries the BSP/streaming overhead but still beats
+        # SimpleIso thanks to cached data.
+        assert row["IsoDataMan"] < row["ViewerIso"] < row["SimpleIso"]
+
+    one = result.row_for(workers=1)
+    # Calibration anchor: SimpleIso at one worker sits near the paper's
+    # ~35-40 s scale.
+    assert 25.0 < one["SimpleIso"] < 55.0
+    # The "grand leap in overall performance" (paper: roughly 1.5-2x).
+    assert one["SimpleIso"] / one["IsoDataMan"] > 1.4
+
+    # Parallelization pays off overall (1 -> 8 workers).
+    eight = result.row_for(workers=8)
+    assert eight["IsoDataMan"] < one["IsoDataMan"] / 3
+    # Diminishing returns at 16 workers: far from linear speed-up
+    # ("utilizing additional workers is ineffective", §7.1).
+    sixteen = result.row_for(workers=16)
+    speedup_16 = one["ViewerIso"] / sixteen["ViewerIso"]
+    assert speedup_16 < 12.0

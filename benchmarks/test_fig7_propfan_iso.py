@@ -1,0 +1,17 @@
+"""Figure 7: Propfan, isosurface, total runtime vs. number of workers."""
+
+from repro.bench.experiments import fig7_propfan_iso_runtime
+
+
+def test_fig7(run_experiment):
+    result = run_experiment(fig7_propfan_iso_runtime)
+    for row in result.rows:
+        assert row["IsoDataMan"] < row["ViewerIso"] < row["SimpleIso"]
+
+    one = result.row_for(workers=1)
+    # The Propfan is ~17x the Engine's size: SimpleIso lands in the
+    # paper's several-hundred-seconds regime (axis up to 600 s).
+    assert 300.0 < one["SimpleIso"] < 800.0
+    # I/O dominates the big data set: the DMS gap is larger than on the
+    # Engine.
+    assert one["SimpleIso"] / one["IsoDataMan"] > 2.0

@@ -1,0 +1,24 @@
+"""Figure 8: latency times for isosurface extraction (Propfan)."""
+
+from repro.bench.experiments import fig8_iso_latency
+
+
+def test_fig8(run_experiment):
+    result = run_experiment(fig8_iso_latency)
+    for row in result.rows:
+        # "First results appear very quickly" with streaming.
+        assert row["ViewerIso"] < row["IsoDataMan"]
+
+    # Streamed latency is "almost constant with respect to the number of
+    # available workers" (§7.1): max/min bounded by a small factor.
+    viewer = [row["ViewerIso"] for row in result.rows]
+    assert max(viewer) / min(viewer) < 4.0
+
+    # Non-streamed latency is the total runtime: it shrinks with workers.
+    dataman = [row["IsoDataMan"] for row in result.rows]
+    assert dataman == sorted(dataman, reverse=True)
+
+    # "The gap to the non-streaming approach is not very big" for the
+    # inexpensive isosurface at high worker counts (§7.1).
+    last = result.rows[-1]
+    assert last["IsoDataMan"] / last["ViewerIso"] < 8.0

@@ -1,0 +1,22 @@
+"""Figure 9: Engine, λ2 vortex extraction, total runtime."""
+
+from repro.bench.experiments import fig9_engine_vortex_runtime
+
+
+def test_fig9(run_experiment):
+    result = run_experiment(fig9_engine_vortex_runtime)
+    for row in result.rows:
+        # "The absence of a data management (SimpleVortex) has quite the
+        # same considerable effect on performance as in the isosurface
+        # case."
+        assert row["VortexDataMan"] < row["SimpleVortex"]
+        # "Now, streaming performs even better than previously": the
+        # streamed overhead relative to the batch DMS variant is small.
+        assert row["StreamedVortex"] < row["SimpleVortex"]
+        assert row["StreamedVortex"] / row["VortexDataMan"] < 1.35
+
+    one = result.row_for(workers=1)
+    # Vortex computation "requires a considerably higher runtime" than
+    # pure isosurface extraction: Engine SimpleVortex ~ tens of seconds,
+    # larger than SimpleIso's ~35-40 s.
+    assert one["SimpleVortex"] > 45.0

@@ -1,0 +1,15 @@
+"""Table 1: multi-block test data sets (steps, blocks, size on disk)."""
+
+from repro.bench.experiments import table1_datasets
+
+
+def test_table1(run_experiment):
+    result = run_experiment(table1_datasets)
+    engine = result.row_for(dataset="engine")
+    propfan = result.row_for(dataset="propfan")
+    assert engine["n_timesteps"] == 63
+    assert engine["n_blocks"] == 23
+    assert abs(engine["size_on_disk_gb"] - 1.12) / 1.12 < 0.06
+    assert propfan["n_timesteps"] == 50
+    assert propfan["n_blocks"] == 144
+    assert abs(propfan["size_on_disk_gb"] - 19.5) / 19.5 < 0.06

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Comparing vortex criteria: λ2 (the paper's choice) vs Q (Hunt).
+
+Both criteria derive from the velocity-gradient tensor's symmetric and
+antisymmetric parts; λ2 < 0 and Q > 0 both mark rotation-dominated
+regions and usually agree on strong cores while differing on the fringe
+— which is exactly why the threshold knob of the explorative workflow
+(§1.1) matters.
+
+Run:  python examples/vortex_criteria_comparison.py
+"""
+
+import numpy as np
+
+from repro import build_engine
+from repro import postprocess as pp
+from repro.algorithms import lambda2_field, q_criterion_field
+from repro.viz import render_ascii
+
+
+def main() -> None:
+    engine = build_engine(base_resolution=8, n_timesteps=1)
+    level = engine.level(0)
+
+    # Field statistics across the whole multi-block level.
+    lam = np.concatenate([lambda2_field(b).ravel() for b in level])
+    q = np.concatenate([q_criterion_field(b).ravel() for b in level])
+    print("per-point field statistics:")
+    print(f"  lambda2: [{lam.min():8.3f}, {lam.max():8.3f}], "
+          f"{100 * np.mean(lam < 0):.0f}% of points vortical (λ2 < 0)")
+    print(f"  Q      : [{q.min():8.3f}, {q.max():8.3f}], "
+          f"{100 * np.mean(q > 0):.0f}% of points vortical (Q > 0)")
+    # λ2 < 0 and Q > 0 are near-duals: their vortical sets overlap.
+    both = np.mean((lam < 0) == (q > 0))
+    print(f"  criteria agree on {100 * both:.0f}% of grid points")
+
+    lam_mesh = pp.vortex_regions(level, threshold=-0.5)
+    q_mesh = pp.q_vortex_regions(level, threshold=0.5)
+    print(f"\nλ2 = -0.5 boundary: {lam_mesh.n_triangles} triangles, "
+          f"area {lam_mesh.area():.2f}")
+    print(f"Q  = +0.5 boundary: {q_mesh.n_triangles} triangles, "
+          f"area {q_mesh.area():.2f}")
+
+    bounds = level.bounds()
+    print("\nλ2 vortices (top view):")
+    print(render_ascii(lam_mesh, "xy", width=46, height=14, bounds=bounds))
+    print("\nQ vortices (top view):")
+    print(render_ascii(q_mesh, "xy", width=46, height=14, bounds=bounds))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package and no network, so PEP 517
+editable installs cannot build; ``pip install -e . --no-build-isolation
+--no-use-pep517`` (or ``python setup.py develop``) uses this shim
+instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of VIRACOCHA (SC 2004).
+
+A parallelization framework for large-scale CFD post-processing in
+virtual environments: a data management system (two-tier caching,
+prefetching, adaptive loading strategies) and streaming of partial
+results, evaluated on multi-block curvilinear CFD datasets.
+
+Quick start::
+
+    from repro import ViracochaSession, build_engine
+
+    session = ViracochaSession(build_engine(base_resolution=5), n_workers=4)
+    result = session.run(
+        "iso-viewer",
+        params={"isovalue": -0.3, "scalar": "pressure",
+                "time_range": (0, 2), "viewpoint": (0, 0, -5)},
+    )
+    print(result.latency, result.total_runtime, result.geometry)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from .core.session import CommandResult, ViracochaSession
+from .synth.engine import build_engine
+from .synth.propfan import build_propfan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommandResult",
+    "ViracochaSession",
+    "build_engine",
+    "build_propfan",
+    "__version__",
+]

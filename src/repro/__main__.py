@@ -1,0 +1,118 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro report [fig6 fig14 ...]   # paper tables/figures
+    python -m repro ablations [replacement ...]
+    python -m repro figures [fig6 ...]       # paper-style bar charts
+    python -m repro commands                  # list registered commands
+    python -m repro taxonomy                  # Figure 1 classification
+    python -m repro export <engine|propfan> <dir> [steps] [resolution]
+    python -m repro info <engine|propfan|path-to-store> [time_index]
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or argv[0] in {"-h", "--help"}:
+        print(__doc__)
+        return 0
+    mode, args = argv[0], argv[1:]
+    if mode == "report":
+        from .bench.report import main as report_main
+
+        return report_main(args)
+    if mode == "figures":
+        from .bench.figures import main as figures_main
+
+        return figures_main(args)
+    if mode == "ablations":
+        from .bench.ablations import ALL_ABLATIONS
+        from .bench.report import format_result
+
+        names = args or list(ALL_ABLATIONS)
+        unknown = [n for n in names if n not in ALL_ABLATIONS]
+        if unknown:
+            print(f"unknown ablations {unknown}; known: {sorted(ALL_ABLATIONS)}")
+            return 2
+        for name in names:
+            print(format_result(ALL_ABLATIONS[name]()))
+            print()
+        return 0
+    if mode == "commands":
+        from .commands import default_registry
+
+        for name in default_registry().names():
+            print(name)
+        return 0
+    if mode == "taxonomy":
+        from .core.classification import all_assessments, format_taxonomy
+
+        print(format_taxonomy())
+        print()
+        for a in all_assessments():
+            tags = []
+            if a.reduces_total_runtime:
+                tags.append("runtime")
+            if a.reduces_latency:
+                tags.append("latency")
+            print(f"{a.command:20s} [{', '.join(tags) or 'baseline'}] {a.notes}")
+        return 0
+    if mode == "export":
+        if len(args) < 2:
+            print(
+                "usage: python -m repro export <engine|propfan> <dir> "
+                "[steps] [resolution]"
+            )
+            return 2
+        name, target = args[0], args[1]
+        steps = int(args[2]) if len(args) > 2 else 4
+        resolution = int(args[3]) if len(args) > 3 else 5
+        from .io import write_dataset
+        from .synth import build_engine, build_propfan
+
+        builders = {"engine": build_engine, "propfan": build_propfan}
+        if name not in builders:
+            print(f"unknown dataset {name!r}; choose engine or propfan")
+            return 2
+        dataset = builders[name](base_resolution=resolution, n_timesteps=steps)
+        levels = [dataset.level(t) for t in range(steps)]
+        store = write_dataset(
+            target,
+            levels,
+            modeled_shapes=list(dataset.spec.modeled_shapes),
+            times=dataset.spec.times[:steps],
+        )
+        print(f"wrote {store.n_timesteps} x {store.n_blocks} blocks to {store.root}")
+        return 0
+    if mode == "info":
+        if not args:
+            print("usage: python -m repro info <engine|propfan|path> [time_index]")
+            return 2
+        name = args[0]
+        time_index = int(args[1]) if len(args) > 1 else 0
+        from .grids.summary import summarize_dataset
+
+        if name in {"engine", "propfan"}:
+            from .synth import build_engine, build_propfan
+
+            dataset = {"engine": build_engine, "propfan": build_propfan}[name](
+                base_resolution=5, n_timesteps=max(time_index + 1, 1)
+            )
+            level = dataset.level(time_index)
+        else:
+            from .io import DatasetStore
+
+            level = DatasetStore(name).read_level(time_index)
+        print(summarize_dataset(level).format())
+        return 0
+    print(f"unknown mode {mode!r}; try --help")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

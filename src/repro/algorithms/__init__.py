@@ -1,0 +1,75 @@
+"""Extraction algorithms (the framework's layer-3 computations)."""
+
+from .isosurface import (
+    active_cell_indices,
+    extract_block_isosurface,
+    extract_isosurface,
+    gather_cell_corners,
+    iter_isosurface_batches,
+    triangulate_cells,
+)
+from .view_dep_iso import iter_view_dependent_batches, sort_blocks_front_to_back
+from .lambda2 import (
+    extract_block_vortices,
+    extract_vortices,
+    iter_vortex_batches,
+    lambda2_field,
+    lambda2_points,
+)
+from .pathlines import BlockRequest, Pathline, PathlineTracer, trace_pathline
+from .streamlines import StreamlineTracer, trace_streamline
+from .streaklines import Streakline, StreaklineTracer, trace_streakline
+from .contours import contour_lines, cutplane_contours
+from .criteria import (
+    enstrophy_field,
+    extract_q_vortices,
+    helicity_field,
+    q_criterion_field,
+    q_criterion_points,
+    vorticity_field,
+    vorticity_magnitude_field,
+)
+from .cutplane import (
+    extract_block_cutplane,
+    extract_cutplane,
+    iter_cutplane_batches,
+    plane_distance_field,
+)
+
+__all__ = [
+    "active_cell_indices",
+    "extract_block_isosurface",
+    "extract_isosurface",
+    "gather_cell_corners",
+    "iter_isosurface_batches",
+    "triangulate_cells",
+    "iter_view_dependent_batches",
+    "sort_blocks_front_to_back",
+    "extract_block_vortices",
+    "extract_vortices",
+    "iter_vortex_batches",
+    "lambda2_field",
+    "lambda2_points",
+    "BlockRequest",
+    "Pathline",
+    "PathlineTracer",
+    "trace_pathline",
+    "StreamlineTracer",
+    "trace_streamline",
+    "Streakline",
+    "StreaklineTracer",
+    "trace_streakline",
+    "contour_lines",
+    "cutplane_contours",
+    "enstrophy_field",
+    "extract_q_vortices",
+    "helicity_field",
+    "q_criterion_field",
+    "q_criterion_points",
+    "vorticity_field",
+    "vorticity_magnitude_field",
+    "extract_block_cutplane",
+    "extract_cutplane",
+    "iter_cutplane_batches",
+    "plane_distance_field",
+]

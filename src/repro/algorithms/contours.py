@@ -1,0 +1,83 @@
+"""Contour lines on triangulated surfaces (marching triangles).
+
+The classic companion of the cut plane: iso-lines of a scalar carried on
+a :class:`~repro.viz.mesh.TriangleMesh` (e.g. pressure contours on a
+slice, or λ2 level lines on any extracted surface).  Each triangle with
+a sign change contributes one segment; the case analysis is trivial and
+unambiguous, the 1-D sibling of the tetrahedral decomposition used for
+isosurfaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grids.multiblock import MultiBlockDataset
+from ..viz.mesh import TriangleMesh
+from ..viz.polyline import PolylineSet
+from .cutplane import extract_cutplane
+
+__all__ = ["contour_lines", "cutplane_contours"]
+
+
+def contour_lines(
+    mesh: TriangleMesh, attribute: str, value: float
+) -> PolylineSet:
+    """Iso-lines of a per-vertex ``attribute`` on a triangle mesh.
+
+    Returns a :class:`PolylineSet` of two-point segments (one per
+    crossed triangle).  Vertices exactly at the iso-value are treated as
+    infinitesimally below it, which keeps the case analysis two-way.
+    """
+    if attribute not in mesh.attributes:
+        raise KeyError(
+            f"mesh has no attribute {attribute!r}; available: "
+            f"{sorted(mesh.attributes)}"
+        )
+    if mesh.is_empty():
+        return PolylineSet()
+    tri_pts = mesh.triangles  # (n, 3, 3)
+    tri_val = mesh.attributes[attribute].reshape(-1, 3)  # (n, 3)
+    above = tri_val > value  # "at the value" counts as below
+
+    segments = []
+    # The three directed edges of each triangle.
+    edges = ((0, 1), (1, 2), (2, 0))
+    crossing_count = above.sum(axis=1)
+    candidates = np.nonzero((crossing_count == 1) | (crossing_count == 2))[0]
+    for t in candidates:
+        points = []
+        for a, b in edges:
+            va, vb = tri_val[t, a], tri_val[t, b]
+            if (va > value) == (vb > value):
+                continue
+            w = (value - va) / (vb - va)
+            points.append(tri_pts[t, a] + w * (tri_pts[t, b] - tri_pts[t, a]))
+        if len(points) == 2:
+            segments.append(points)
+    if not segments:
+        return PolylineSet()
+    vertices = np.asarray(segments, dtype=np.float64).reshape(-1, 3)
+    offsets = list(range(0, len(vertices) + 1, 2))
+    values = np.full(len(vertices), float(value))
+    return PolylineSet(vertices, offsets, {attribute: values})
+
+
+def cutplane_contours(
+    dataset: MultiBlockDataset,
+    normal: np.ndarray,
+    offset: float,
+    scalar: str,
+    values: list[float],
+) -> PolylineSet:
+    """Contour lines of ``scalar`` on the plane ``normal · x = offset``.
+
+    Extracts the cut with the scalar interpolated onto it, then marches
+    one contour per requested level.
+    """
+    cut = extract_cutplane(dataset, normal, offset, attributes=[scalar])
+    if cut.is_empty():
+        return PolylineSet()
+    return PolylineSet.merge(
+        [contour_lines(cut, scalar, float(v)) for v in values]
+    )

@@ -1,0 +1,98 @@
+"""Derived flow quantities beyond λ2.
+
+The paper evaluates the λ2 criterion; a post-processing library for
+"the addition of a variety of post-processing methods" (§8) needs its
+standard companions: vorticity, the Q criterion (Hunt), helicity and
+enstrophy.  All are per-point fields derived from the velocity-gradient
+tensor and plug directly into the isosurface machinery, exactly like
+λ2 does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grids.block import StructuredBlock
+from ..grids.geometry import velocity_gradient_tensor
+from ..grids.multiblock import MultiBlockDataset
+from ..viz.mesh import TriangleMesh
+from .isosurface import extract_block_isosurface
+
+__all__ = [
+    "vorticity_field",
+    "vorticity_magnitude_field",
+    "q_criterion_points",
+    "q_criterion_field",
+    "helicity_field",
+    "enstrophy_field",
+    "extract_q_vortices",
+]
+
+
+def vorticity_field(block: StructuredBlock, velocity: str = "velocity") -> np.ndarray:
+    """Vorticity vector ω = ∇ × u per point, shape ``(ni, nj, nk, 3)``."""
+    g = velocity_gradient_tensor(block, velocity)  # g[..., c, d] = du_c/dx_d
+    return np.stack(
+        [
+            g[..., 2, 1] - g[..., 1, 2],
+            g[..., 0, 2] - g[..., 2, 0],
+            g[..., 1, 0] - g[..., 0, 1],
+        ],
+        axis=-1,
+    )
+
+
+def vorticity_magnitude_field(
+    block: StructuredBlock, velocity: str = "velocity"
+) -> np.ndarray:
+    """|ω| per point."""
+    return np.linalg.norm(vorticity_field(block, velocity), axis=-1)
+
+
+def q_criterion_points(gradients: np.ndarray) -> np.ndarray:
+    """Q = ½(‖Ω‖² − ‖S‖²) from gradient tensors ``(..., 3, 3)``.
+
+    Q > 0 marks regions where rotation dominates strain (Hunt et al.);
+    it is the positive-threshold sibling of the λ2 < 0 criterion.
+    """
+    g = np.asarray(gradients, dtype=np.float64)
+    s = 0.5 * (g + np.swapaxes(g, -1, -2))
+    w = 0.5 * (g - np.swapaxes(g, -1, -2))
+    return 0.5 * (
+        np.sum(w * w, axis=(-2, -1)) - np.sum(s * s, axis=(-2, -1))
+    )
+
+
+def q_criterion_field(block: StructuredBlock, velocity: str = "velocity") -> np.ndarray:
+    """The Q scalar field of one block."""
+    return q_criterion_points(velocity_gradient_tensor(block, velocity))
+
+
+def helicity_field(block: StructuredBlock, velocity: str = "velocity") -> np.ndarray:
+    """Helicity density h = u · ω per point (swirl alignment)."""
+    u = block.field(velocity)
+    return np.einsum("...c,...c->...", u, vorticity_field(block, velocity))
+
+
+def enstrophy_field(block: StructuredBlock, velocity: str = "velocity") -> np.ndarray:
+    """Enstrophy density ½|ω|² per point."""
+    w = vorticity_field(block, velocity)
+    return 0.5 * np.einsum("...c,...c->...", w, w)
+
+
+def extract_q_vortices(
+    dataset: MultiBlockDataset,
+    threshold: float = 0.0,
+    velocity: str = "velocity",
+) -> TriangleMesh:
+    """Vortex surfaces at ``Q = threshold`` (Q > threshold inside)."""
+    meshes = []
+    for block in dataset:
+        work = StructuredBlock(
+            block.coords,
+            {"q": q_criterion_field(block, velocity)},
+            block_id=block.block_id,
+            time_index=block.time_index,
+        )
+        meshes.append(extract_block_isosurface(work, "q", threshold))
+    return TriangleMesh.merge(meshes)

@@ -1,0 +1,147 @@
+"""λ2 vortex-region extraction (Jeong & Hussain).
+
+"[The λ2 approach] determines the symmetric part S and anti-symmetric
+part Q of the velocity gradient tensor at each grid location.
+Thereafter, it computes the three eigenvalues of S² + Q², sorts them in
+increasing order, and finally uses the second largest eigenvalue λ2 to
+construct the scalar field for isosurface extraction.  Since vortex
+regions are assumed where two eigenvalues are negative, λ2 about zero
+is considered as vortex boundary." (§6.3)
+
+Two operating modes mirror the paper's commands:
+
+* :func:`lambda2_field` + isosurface — the batch VortexDataMan path,
+  computing the whole scalar field first;
+* :func:`iter_vortex_batches` — the StreamedVortex path, which "works
+  on the original data set but avoids computing the complete λ2 scalar
+  field first": it sweeps the block in slabs, computes λ2 only there,
+  collects active cells and emits triangle batches as soon as a
+  user-specified number accumulates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..grids.block import StructuredBlock
+from ..grids.geometry import velocity_gradient_tensor
+from ..grids.multiblock import MultiBlockDataset
+from ..viz.mesh import TriangleMesh
+from .isosurface import extract_block_isosurface
+
+__all__ = [
+    "lambda2_points",
+    "lambda2_field",
+    "extract_block_vortices",
+    "extract_vortices",
+    "iter_vortex_batches",
+]
+
+
+def lambda2_points(gradients: np.ndarray) -> np.ndarray:
+    """λ2 from velocity-gradient tensors ``(..., 3, 3)``.
+
+    Returns the middle (second largest) eigenvalue of S² + Q² per point.
+    """
+    g = np.asarray(gradients, dtype=np.float64)
+    s = 0.5 * (g + np.swapaxes(g, -1, -2))
+    q = 0.5 * (g - np.swapaxes(g, -1, -2))
+    m = s @ s + q @ q  # symmetric by construction
+    eig = np.linalg.eigvalsh(m)  # ascending
+    return eig[..., 1]
+
+
+def lambda2_field(block: StructuredBlock, velocity: str = "velocity") -> np.ndarray:
+    """The full λ2 scalar field of one block, shape ``(ni, nj, nk)``."""
+    return lambda2_points(velocity_gradient_tensor(block, velocity))
+
+
+def extract_block_vortices(
+    block: StructuredBlock,
+    threshold: float = 0.0,
+    velocity: str = "velocity",
+    field_name: str = "lambda2",
+) -> TriangleMesh:
+    """Vortex boundary surface of one block at ``λ2 = threshold``.
+
+    In practice "a value about zero is used to get more accurate
+    regions" — slightly negative thresholds tighten the regions (§1.1).
+    """
+    work = block if block.has_field(field_name) else _with_lambda2(block, velocity, field_name)
+    return extract_block_isosurface(work, field_name, threshold)
+
+
+def _with_lambda2(
+    block: StructuredBlock, velocity: str, field_name: str
+) -> StructuredBlock:
+    block.set_field(field_name, lambda2_field(block, velocity))
+    return block
+
+
+def extract_vortices(
+    dataset: MultiBlockDataset,
+    threshold: float = 0.0,
+    velocity: str = "velocity",
+) -> TriangleMesh:
+    """Vortex boundaries of a whole time level (batch path)."""
+    return TriangleMesh.merge(
+        extract_block_vortices(b, threshold, velocity) for b in dataset
+    )
+
+
+def iter_vortex_batches(
+    block: StructuredBlock,
+    threshold: float = 0.0,
+    velocity: str = "velocity",
+    batch_cells: int = 256,
+    slab_cells: int = 4,
+) -> Iterator[tuple[TriangleMesh, int]]:
+    """Streamed λ2 extraction: yields ``(fragment, cells_processed)``.
+
+    Sweeps the block in i-slabs of ``slab_cells`` cells (each slab
+    carries one ghost point layer so gradients are identical to the
+    full-field computation in the slab interior), finds active cells,
+    and emits a fragment whenever the pending active-cell list reaches
+    ``batch_cells`` — the paper's "active cell list reaches a
+    user-specified length" trigger.
+    """
+    if batch_cells < 1 or slab_cells < 1:
+        raise ValueError("batch_cells and slab_cells must be >= 1")
+    ni, nj, nk = block.shape
+    ci = ni - 1
+    pending: list[TriangleMesh] = []
+    pending_cells = 0
+
+    for i0 in range(0, ci, slab_cells):
+        i1 = min(i0 + slab_cells, ci)
+        # Slab of points with one-layer ghost margin for the gradient.
+        g0 = max(i0 - 1, 0)
+        g1 = min(i1 + 2, ni)
+        sub = StructuredBlock(
+            block.coords[g0:g1],
+            {velocity: block.field(velocity)[g0:g1]},
+            block_id=block.block_id,
+            time_index=block.time_index,
+        )
+        sub.set_field("lambda2", lambda2_field(sub, velocity))
+        # Cells of the slab, excluding ghost cells.
+        lo = i0 - g0
+        hi = lo + (i1 - i0)
+        cj, ck = nj - 1, nk - 1
+        slab_cell_ids = np.arange(lo * cj * ck, hi * cj * ck)
+        mesh = extract_block_isosurface(
+            sub, "lambda2", threshold, cell_indices=slab_cell_ids
+        )
+        pending_cells += (i1 - i0) * cj * ck
+        if not mesh.is_empty():
+            pending.append(mesh)
+        if pending and pending_cells >= batch_cells:
+            yield TriangleMesh.merge(pending), pending_cells
+            pending = []
+            pending_cells = 0
+    if pending or pending_cells:
+        merged = TriangleMesh.merge(pending)
+        if not merged.is_empty() or pending_cells:
+            yield merged, pending_cells

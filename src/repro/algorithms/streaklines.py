@@ -1,0 +1,119 @@
+"""Streaklines: the paper's named future-work item (§9).
+
+A streakline is the locus, at observation time ``T``, of all particles
+continuously released from a fixed seed point since ``t0`` — what a dye
+filament in a physical wind tunnel shows.  It is computed by advecting
+one particle per release time with the unsteady pathline integrator and
+connecting their positions at ``T`` in release order.
+
+The implementation reuses :class:`~repro.algorithms.pathlines.
+PathlineTracer` (and its block-request protocol), so streaklines work
+both standalone and through the DMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Sequence
+
+import numpy as np
+
+from ..grids.block import BlockHandle
+from ..grids.multiblock import TimeSeries
+from .pathlines import BlockRequest, Pathline, PathlineTracer
+
+__all__ = ["Streakline", "StreaklineTracer", "trace_streakline"]
+
+
+@dataclass
+class Streakline:
+    """One streakline at a fixed observation time."""
+
+    seed: np.ndarray
+    observation_time: float
+    release_times: np.ndarray  #: (n,) times the surviving particles started
+    points: np.ndarray  #: (n, 3) particle positions at the observation time
+    n_released: int  #: particles released (some may have left the domain)
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.points)
+
+    def length(self) -> float:
+        if len(self.points) < 2:
+            return 0.0
+        return float(np.linalg.norm(np.diff(self.points, axis=0), axis=1).sum())
+
+
+class StreaklineTracer:
+    """Streakline integration over a multi-block time series."""
+
+    def __init__(
+        self,
+        handles: Sequence[BlockHandle],
+        times: Sequence[float],
+        **tracer_kwargs,
+    ):
+        self.tracer = PathlineTracer(handles, times, **tracer_kwargs)
+        self.times = self.tracer.times
+
+    def trace(
+        self,
+        seed: np.ndarray,
+        t_start: float | None = None,
+        t_observe: float | None = None,
+        n_particles: int = 20,
+    ) -> Generator[BlockRequest, object, Streakline]:
+        """Generator protocol (like the pathline tracer's).
+
+        Releases ``n_particles`` particles at uniform times in
+        ``[t_start, t_observe)`` and integrates each to ``t_observe``.
+        Particles that leave the domain are dropped from the filament.
+        """
+        if n_particles < 1:
+            raise ValueError(f"n_particles must be >= 1, got {n_particles}")
+        seed = np.asarray(seed, dtype=np.float64)
+        t0 = self.times[0] if t_start is None else float(t_start)
+        t1 = self.times[-1] if t_observe is None else float(t_observe)
+        if t1 <= t0:
+            raise ValueError(f"t_observe ({t1}) must exceed t_start ({t0})")
+        releases = np.linspace(t0, t1, n_particles, endpoint=False)
+        kept_points: list[np.ndarray] = []
+        kept_times: list[float] = []
+        for t_release in releases:
+            path: Pathline = yield from self.tracer.trace(seed, t_release, t1)
+            if path.termination == "end_time":
+                kept_points.append(path.points[-1])
+                kept_times.append(float(t_release))
+        return Streakline(
+            seed=seed,
+            observation_time=t1,
+            release_times=np.asarray(kept_times),
+            points=(
+                np.asarray(kept_points)
+                if kept_points
+                else np.empty((0, 3), dtype=np.float64)
+            ),
+            n_released=n_particles,
+        )
+
+
+def trace_streakline(
+    series: TimeSeries,
+    seed: np.ndarray,
+    t_start: float | None = None,
+    t_observe: float | None = None,
+    n_particles: int = 20,
+    **tracer_kwargs,
+) -> Streakline:
+    """Serial convenience wrapper over an in-memory time series."""
+    handles = series.level(0).handles()
+    tracer = StreaklineTracer(handles, series.times, **tracer_kwargs)
+    gen = tracer.trace(seed, t_start, t_observe, n_particles)
+    try:
+        request = next(gen)
+        while True:
+            block = series.level(request.time_index)[request.block_id]
+            request = gen.send(block)
+    except StopIteration as stop:
+        return stop.value

@@ -1,0 +1,66 @@
+"""Streamlines: steady-state particle traces on one frozen time level.
+
+Listed under the paper's future work ("optimization of particle tracing
+algorithms, e.g. pathlines as well as streaklines"); implemented here as
+the steady companion of :mod:`.pathlines`, reusing the same RK4 tracer
+with the velocity field frozen at a single time level and arc
+parameterized by pseudo-time.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+import numpy as np
+
+from ..grids.block import BlockHandle
+from ..grids.multiblock import MultiBlockDataset
+from .pathlines import BlockRequest, Pathline, PathlineTracer
+
+__all__ = ["StreamlineTracer", "trace_streamline"]
+
+
+class StreamlineTracer(PathlineTracer):
+    """A pathline tracer pinned to one time level."""
+
+    def __init__(
+        self,
+        handles: Sequence[BlockHandle],
+        level_index: int = 0,
+        duration: float = 1.0,
+        **kwargs,
+    ):
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        # A single synthetic "time axis" spanning the integration length;
+        # both bracket levels collapse onto the frozen level.
+        super().__init__(handles, times=[0.0, duration], **kwargs)
+        self.level_index = level_index
+
+    def _map_request(self, time_index: int, block_id: int):
+        # Both pseudo-time levels map to the same frozen dataset level.
+        from .pathlines import BlockRequest
+
+        return BlockRequest(self.level_index, block_id)
+
+    def trace_steady(
+        self, seed: np.ndarray, duration: float | None = None
+    ) -> Generator[BlockRequest, object, Pathline]:
+        return (yield from self.trace(seed, 0.0, duration))
+
+
+def trace_streamline(
+    dataset: MultiBlockDataset,
+    seed: np.ndarray,
+    duration: float = 1.0,
+    **tracer_kwargs,
+) -> Pathline:
+    """Serial convenience wrapper over one in-memory time level."""
+    tracer = StreamlineTracer(dataset.handles(), duration=duration, **tracer_kwargs)
+    gen = tracer.trace_steady(seed, duration)
+    try:
+        request = next(gen)
+        while True:
+            request = gen.send(dataset[request.block_id])
+    except StopIteration as stop:
+        return stop.value

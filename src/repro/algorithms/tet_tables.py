@@ -1,0 +1,75 @@
+"""Case tables for isosurface triangulation via tetrahedral decomposition.
+
+Each hexahedral cell is split into six tetrahedra around the main
+diagonal (corner 0 → corner 6).  This split is *face-consistent*: the
+diagonal chosen on every cell face matches the diagonal the neighboring
+cell chooses on its shared face, so the extracted surface is crack-free
+across cell boundaries without any table disambiguation (the classic
+marching-cubes ambiguous cases cannot occur with tetrahedra).
+
+Corner numbering matches
+:meth:`repro.grids.block.StructuredBlock.cell_corner_points` (VTK
+hexahedron order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HEX_TO_TETS", "TET_EDGES", "TET_TRI_TABLE", "TET_TRI_COUNT"]
+
+#: Six tetrahedra around the 0-6 diagonal of the hexahedron.
+HEX_TO_TETS = np.array(
+    [
+        [0, 1, 2, 6],
+        [0, 2, 3, 6],
+        [0, 3, 7, 6],
+        [0, 7, 4, 6],
+        [0, 4, 5, 6],
+        [0, 5, 1, 6],
+    ],
+    dtype=np.int64,
+)
+
+#: The six edges of a tetrahedron as (vertex, vertex) pairs.
+TET_EDGES = np.array(
+    [
+        [0, 1],  # edge 0
+        [0, 2],  # edge 1
+        [0, 3],  # edge 2
+        [1, 2],  # edge 3
+        [1, 3],  # edge 4
+        [2, 3],  # edge 5
+    ],
+    dtype=np.int64,
+)
+
+# Case index: bit i set <=> tet vertex i is "inside" (value < isovalue).
+# Each entry lists triangles as triples of cut-edge indices; -1 pads.
+_RAW_TABLE: list[list[tuple[int, int, int]]] = [
+    [],  # 0000: nothing inside
+    [(0, 1, 2)],  # 0001: v0
+    [(0, 4, 3)],  # 0010: v1
+    [(1, 2, 4), (1, 4, 3)],  # 0011: v0 v1
+    [(1, 3, 5)],  # 0100: v2
+    [(0, 3, 5), (0, 5, 2)],  # 0101: v0 v2
+    [(0, 4, 5), (0, 5, 1)],  # 0110: v1 v2
+    [(2, 4, 5)],  # 0111: v0 v1 v2 (== not v3)
+    [(2, 5, 4)],  # 1000: v3
+    [(0, 1, 5), (0, 5, 4)],  # 1001: v0 v3
+    [(0, 2, 5), (0, 5, 3)],  # 1010: v1 v3
+    [(1, 5, 3)],  # 1011: (== not v2)
+    [(1, 4, 2), (1, 3, 4)],  # 1100: v2 v3
+    [(0, 3, 4)],  # 1101: (== not v1)
+    [(0, 2, 1)],  # 1110: (== not v0)
+    [],  # 1111: everything inside
+]
+
+#: Padded (16, 2, 3) table: up to two triangles of cut-edge indices.
+TET_TRI_TABLE = np.full((16, 2, 3), -1, dtype=np.int64)
+for case, tris in enumerate(_RAW_TABLE):
+    for t, tri in enumerate(tris):
+        TET_TRI_TABLE[case, t] = tri
+
+#: Number of triangles per case.
+TET_TRI_COUNT = np.array([len(t) for t in _RAW_TABLE], dtype=np.int64)

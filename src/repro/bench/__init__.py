@@ -1,0 +1,15 @@
+"""Benchmark harness reproducing the paper's tables and figures."""
+
+from .calibration import MB, paper_cluster, paper_costs
+from .experiments import ALL_EXPERIMENTS, ExperimentResult
+from .report import format_result, run_all
+
+__all__ = [
+    "MB",
+    "paper_cluster",
+    "paper_costs",
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "format_result",
+    "run_all",
+]

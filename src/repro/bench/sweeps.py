@@ -1,0 +1,94 @@
+"""Generic parameter-sweep harness for user-defined studies.
+
+The built-in experiments reproduce the paper's figures; this module is
+the reusable machinery for new questions of the same shape — "run
+command X over worker counts W and parameter grid P, tabulate runtime /
+latency / anything else":
+
+    sweep = Sweep(
+        dataset=build_engine(base_resolution=5),
+        command="vortex-streamed",
+        base_params={"time_range": (0, 1)},
+    )
+    result = sweep.run(
+        workers=(1, 4),
+        grid={"threshold": [-0.2, -0.5], "batch_cells": [8, 64]},
+        warm=True,
+    )
+
+Each grid point becomes one row; metrics extend via callables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.session import CommandResult, ViracochaSession
+from .calibration import paper_cluster, paper_costs
+from .experiments import ExperimentResult
+
+__all__ = ["DEFAULT_METRICS", "Sweep"]
+
+#: metric name -> extractor over a CommandResult.
+DEFAULT_METRICS: dict[str, Callable[[CommandResult], Any]] = {
+    "total_s": lambda r: r.total_runtime,
+    "latency_s": lambda r: r.latency,
+    "packets": lambda r: r.n_packets,
+    "triangles": lambda r: getattr(r.geometry, "n_triangles", 0),
+}
+
+
+@dataclass
+class Sweep:
+    """A command swept over worker counts and a parameter grid."""
+
+    dataset: Any
+    command: str
+    base_params: Mapping[str, Any] = field(default_factory=dict)
+    metrics: Mapping[str, Callable[[CommandResult], Any]] = field(
+        default_factory=lambda: dict(DEFAULT_METRICS)
+    )
+    cluster_factory: Callable[[int], Any] = paper_cluster
+    costs_factory: Callable[[], Any] = paper_costs
+
+    def run(
+        self,
+        workers: Sequence[int] = (1,),
+        grid: Mapping[str, Sequence[Any]] | None = None,
+        warm: bool = False,
+        warm_command: str | None = None,
+    ) -> ExperimentResult:
+        """Execute the sweep; one row per (workers, grid point)."""
+        grid = dict(grid or {})
+        keys = sorted(grid)
+        for key, values in grid.items():
+            if not values:
+                raise ValueError(f"grid axis {key!r} has no values")
+        result = ExperimentResult(
+            experiment_id=f"sweep-{self.command}",
+            title=f"{self.command} sweep",
+            columns=["workers", *keys, *self.metrics],
+        )
+        combos = list(product(*(grid[k] for k in keys))) or [()]
+        for n_workers in workers:
+            session = ViracochaSession(
+                self.dataset,
+                cluster_config=self.cluster_factory(n_workers),
+                costs=self.costs_factory(),
+            )
+            if warm:
+                first = dict(self.base_params)
+                first.update(zip(keys, combos[0]))
+                session.warm_cache(warm_command or self.command, params=first)
+            for combo in combos:
+                params = dict(self.base_params)
+                params.update(zip(keys, combo))
+                run = session.run(self.command, params=params)
+                row: dict[str, Any] = {"workers": n_workers}
+                row.update(zip(keys, combo))
+                for name, extract in self.metrics.items():
+                    row[name] = extract(run)
+                result.rows.append(row)
+        return result

@@ -1,0 +1,51 @@
+"""The command library (layer 3): the paper's six evaluated commands,
+plus cut-plane and progressive extensions."""
+
+from ..core.commands import CommandRegistry
+from .iso import IsoDataManCommand, SimpleIsoCommand, ViewerIsoCommand
+from .vortex import SimpleVortexCommand, StreamedVortexCommand, VortexDataManCommand
+from .pathline_cmd import PathlinesDataManCommand, SimplePathlinesCommand
+from .cutplane_cmd import CutplaneCommand, StreamedCutplaneCommand
+from .progressive import ProgressiveIsoCommand
+from .streakline_cmd import StreaklinesCommand
+
+ALL_COMMANDS = [
+    SimpleIsoCommand,
+    IsoDataManCommand,
+    ViewerIsoCommand,
+    SimpleVortexCommand,
+    VortexDataManCommand,
+    StreamedVortexCommand,
+    SimplePathlinesCommand,
+    PathlinesDataManCommand,
+    CutplaneCommand,
+    StreamedCutplaneCommand,
+    ProgressiveIsoCommand,
+    StreaklinesCommand,
+]
+
+
+def default_registry() -> CommandRegistry:
+    """A registry with every built-in command installed."""
+    registry = CommandRegistry()
+    for cls in ALL_COMMANDS:
+        registry.register(cls)
+    return registry
+
+
+__all__ = [
+    "ALL_COMMANDS",
+    "default_registry",
+    "SimpleIsoCommand",
+    "IsoDataManCommand",
+    "ViewerIsoCommand",
+    "SimpleVortexCommand",
+    "VortexDataManCommand",
+    "StreamedVortexCommand",
+    "SimplePathlinesCommand",
+    "PathlinesDataManCommand",
+    "CutplaneCommand",
+    "StreamedCutplaneCommand",
+    "ProgressiveIsoCommand",
+    "StreaklinesCommand",
+]

@@ -1,0 +1,107 @@
+"""The pathline commands of the evaluation (§6.3, §7.3).
+
+Seed points are dealt to workers round-robin; because "every pathline
+has different computational efforts and strongly varying block
+requirements", this static distribution shows the load imbalance the
+paper reports (bad scalability, Fig. 13).
+
+The tracer's block demands drive ``Load`` ops, so with the DMS enabled
+the request stream feeds the Markov(+OBL) prefetcher — "making use of
+the markov prefetcher, and after a learning phase, the data requests
+even of time-dependent particle tracing can be predicted quite well."
+
+Params: ``seeds`` (list of 3-D points; required), ``t_start`` /
+``t_end`` (physical times; default full range), ``rtol``,
+``local_cache_blocks``, ``max_steps``, ``prefetch`` override.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..algorithms.pathlines import PathlineTracer
+from ..dms.items import block_item
+from ..core.commands import Command, CommandContext, Compute, Emit, Load, split_round_robin
+
+__all__ = ["SimplePathlinesCommand", "PathlinesDataManCommand"]
+
+
+class PathlinesDataManCommand(Command):
+    """DMS-backed pathline integration with Markov prefetching."""
+
+    name = "pathlines-dataman"
+    streaming = False
+    use_dms = True
+
+    def plan(self, ctx: CommandContext, group_size: int) -> list[Any]:
+        seeds = [np.asarray(s, dtype=np.float64) for s in ctx.params["seeds"]]
+        if not seeds:
+            raise ValueError("pathline commands need at least one seed")
+        return split_round_robin(seeds, group_size)
+
+    def item_sequence_for(self, ctx: CommandContext, assignment: Any):
+        # The OBL fallback order: file-storage order, time-major.
+        return [
+            block_item(ctx.dataset, t, h.block_id)
+            for t in ctx.time_indices
+            for h in sorted(
+                ctx.handles_by_time[t - ctx.time_offset], key=lambda h: h.block_id
+            )
+        ]
+
+    def prefetcher_spec(self, ctx: CommandContext) -> str:
+        return "block-markov"
+
+    def merge(self, payload_lists):
+        return [p for payloads in payload_lists for p in payloads]
+
+    def run(self, ctx: CommandContext, assignment: Any, worker_index: int):
+        times = list(ctx.times)
+        handles = list(ctx.handles_by_time[0])
+        t_start = ctx.params.get("t_start", times[0])
+        t_end = ctx.params.get("t_end", times[-1])
+        tracer = PathlineTracer(
+            handles,
+            times,
+            rtol=float(ctx.params.get("rtol", 1e-3)),
+            max_steps=int(ctx.params.get("max_steps", 400)),
+            local_cache_blocks=int(ctx.params.get("local_cache_blocks", 8)),
+        )
+        sample_cost = ctx.costs.pathline_sample
+        for seed in assignment:
+            gen = tracer.trace(seed, t_start, t_end)
+            charged = tracer.samples
+            try:
+                request = next(gen)
+                while True:
+                    # Charge the numerics done since the last block demand.
+                    pending = tracer.samples - charged
+                    if pending:
+                        yield Compute(pending * sample_cost)
+                        charged = tracer.samples
+                    block = yield Load(
+                        block_item(
+                            ctx.dataset,
+                            ctx.time_offset + request.time_index,
+                            request.block_id,
+                        )
+                    )
+                    request = gen.send(block)
+            except StopIteration as stop:
+                path = stop.value
+            pending = tracer.samples - charged
+            if pending:
+                yield Compute(pending * sample_cost)
+            yield Emit(path, nbytes=int(path.points.nbytes + path.times.nbytes))
+
+
+class SimplePathlinesCommand(PathlinesDataManCommand):
+    """The no-DMS baseline: every tracer block demand hits the fileserver."""
+
+    name = "pathlines-simple"
+    use_dms = False
+
+    def prefetcher_spec(self, ctx: CommandContext) -> str:
+        return "none"

@@ -1,0 +1,72 @@
+"""Streakline command (extension; the paper lists streaklines as future
+work in §9).
+
+Seeds are dealt to workers like pathline seeds; each seed produces one
+dye filament observed at ``t_observe``.  Block demands run through the
+DMS with the same block-Markov prefetcher the pathline command uses —
+the access pattern is a superposition of pathline patterns, which is
+exactly what the shared Markov graph learns fastest.
+
+Params: ``seeds`` (required), ``n_particles`` per filament,
+``t_start`` / ``t_observe``, plus the pathline tracer knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..algorithms.streaklines import StreaklineTracer
+from ..dms.items import block_item
+from ..core.commands import Compute, Emit, Load
+from .pathline_cmd import PathlinesDataManCommand
+
+__all__ = ["StreaklinesCommand"]
+
+
+class StreaklinesCommand(PathlinesDataManCommand):
+    """DMS-backed streakline integration."""
+
+    name = "streaklines"
+    streaming = False
+    use_dms = True
+
+    def run(self, ctx, assignment: Any, worker_index: int):
+        times = list(ctx.times)
+        handles = list(ctx.handles_by_time[0])
+        t_start = ctx.params.get("t_start", times[0])
+        t_observe = ctx.params.get("t_observe", times[-1])
+        n_particles = int(ctx.params.get("n_particles", 16))
+        tracer = StreaklineTracer(
+            handles,
+            times,
+            rtol=float(ctx.params.get("rtol", 1e-3)),
+            max_steps=int(ctx.params.get("max_steps", 400)),
+            local_cache_blocks=int(ctx.params.get("local_cache_blocks", 8)),
+        )
+        sample_cost = ctx.costs.pathline_sample
+        for seed in assignment:
+            gen = tracer.trace(seed, t_start, t_observe, n_particles)
+            charged = tracer.tracer.samples
+            try:
+                request = next(gen)
+                while True:
+                    pending = tracer.tracer.samples - charged
+                    if pending:
+                        yield Compute(pending * sample_cost)
+                        charged = tracer.tracer.samples
+                    block = yield Load(
+                        block_item(
+                            ctx.dataset,
+                            ctx.time_offset + request.time_index,
+                            request.block_id,
+                        )
+                    )
+                    request = gen.send(block)
+            except StopIteration as stop:
+                streak = stop.value
+            pending = tracer.tracer.samples - charged
+            if pending:
+                yield Compute(pending * sample_cost)
+            yield Emit(streak, nbytes=int(streak.points.nbytes) + 64)

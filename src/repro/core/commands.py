@@ -1,0 +1,239 @@
+"""Layer 3: the command protocol.
+
+"Actually applied computing algorithms are merely implemented on the
+uppermost layer.  This design allows the reuse of the Viracocha
+framework for purposes different from CFD post-processing by simply
+exchanging this topmost layer." (§3)
+
+A command is a generator over *ops*; the worker (layer 2) interprets
+them:
+
+* ``Load(item)``     → fetch a block (through the DMS or directly);
+  the op evaluates to the :class:`~repro.grids.block.StructuredBlock`.
+* ``Compute(cost, fn)`` → run ``fn`` now (real numerics) and charge
+  ``cost`` modeled work units; evaluates to ``fn()``.
+* ``Emit(payload, nbytes, kind)`` → hand a partial result to the
+  runtime: streamed straight to the client, or buffered for the final
+  collective package, depending on the command's ``streaming`` flag.
+* ``Prefetch(item)`` → non-blocking code-prefetch hint (§4.2).
+
+Because the ops are plain data, the same command code runs under any
+runtime and is trivially unit-testable by driving the generator by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Sequence
+
+from ..dms.items import ItemName
+from ..grids.block import BlockHandle
+from .costs import CostModel
+
+__all__ = [
+    "Load",
+    "Compute",
+    "Emit",
+    "Prefetch",
+    "CommandContext",
+    "Command",
+    "CommandRegistry",
+    "split_round_robin",
+]
+
+
+@dataclass(frozen=True)
+class Load:
+    item: ItemName
+
+
+@dataclass(frozen=True)
+class Compute:
+    cost: float
+    fn: Callable[[], Any] | None = None
+
+
+@dataclass(frozen=True)
+class Emit:
+    payload: Any
+    nbytes: int
+    kind: str = "geometry"
+
+
+@dataclass(frozen=True)
+class Prefetch:
+    item: ItemName
+
+
+@dataclass
+class CommandContext:
+    """Everything a command needs to plan and run.
+
+    ``handles_by_time[i]`` lists the block handles of absolute time
+    level ``time_offset + i``; ``times`` are the matching physical
+    times.  Commands derive item names, cost estimates and orderings
+    from these without touching payload data.
+    """
+
+    dataset: str
+    handles_by_time: Sequence[Sequence[BlockHandle]]
+    params: dict[str, Any]
+    costs: CostModel
+    time_offset: int = 0
+    times: Sequence[float] = ()
+
+    @property
+    def n_timesteps(self) -> int:
+        return len(self.handles_by_time)
+
+    @property
+    def time_indices(self) -> range:
+        """Absolute time indices covered by this command."""
+        return range(self.time_offset, self.time_offset + len(self.handles_by_time))
+
+    def handle(self, time_index: int, block_id: int) -> BlockHandle:
+        """Handle lookup by *absolute* time index."""
+        rel = time_index - self.time_offset
+        if not 0 <= rel < len(self.handles_by_time):
+            raise KeyError(f"time index {time_index} outside command range")
+        for h in self.handles_by_time[rel]:
+            if h.block_id == block_id:
+                return h
+        raise KeyError(f"no handle for block {block_id} at t={time_index}")
+
+
+CommandGen = Generator["Load | Compute | Emit | Prefetch", Any, None]
+
+
+class Command:
+    """Base class for post-processing commands."""
+
+    #: registry name, e.g. "iso-dataman".
+    name: str = "command"
+    #: whether partial results stream directly to the client (§5).
+    streaming: bool = False
+    #: whether block loads go through the DMS (§4) or hit the
+    #: fileserver directly every time (the paper's "Simple*" baselines).
+    use_dms: bool = True
+
+    def plan(self, ctx: CommandContext, group_size: int) -> list[Any]:
+        """Split the work into one assignment per worker."""
+        raise NotImplementedError
+
+    def run(self, ctx: CommandContext, assignment: Any, worker_index: int) -> CommandGen:
+        """The worker-side op generator for one assignment."""
+        raise NotImplementedError
+
+    def prefetcher_spec(self, ctx: CommandContext) -> str:
+        """System prefetcher to install for this command ('none', 'obl',
+        'on-miss', 'markov+obl').  Commands may honor a ``prefetch``
+        param override (the ablation figures switch prefetching off)."""
+        return "none"
+
+    def item_sequence_for(self, ctx: CommandContext, assignment: Any) -> list[ItemName] | None:
+        """The block-item order this worker will process (drives the
+        sequential prefetchers' "next block" relation).  ``None`` means
+        no meaningful sequential order exists."""
+        return None
+
+    def merge(self, payload_lists: Sequence[Sequence[Any]]) -> Any:
+        """Combine the workers' buffered partials into the final result.
+
+        The default merges triangle meshes; commands with other payload
+        types (pathlines) override this.
+        """
+        from ..viz.mesh import TriangleMesh
+
+        flat = [p for payloads in payload_lists for p in payloads]
+        meshes = [p for p in flat if isinstance(p, TriangleMesh)]
+        if len(meshes) == len(flat):
+            return TriangleMesh.merge(meshes)
+        return flat
+
+
+def split_round_robin(items: Sequence[Any], group_size: int) -> list[list[Any]]:
+    """Deal items to workers in turn (the default static distribution)."""
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    shares: list[list[Any]] = [[] for _ in range(group_size)]
+    for i, item in enumerate(items):
+        shares[i % group_size].append(item)
+    return shares
+
+
+def split_balanced(
+    items: Sequence[Any], weights: Sequence[float], group_size: int
+) -> list[list[Any]]:
+    """Cost-aware static distribution (longest-processing-time greedy).
+
+    The paper observes that "unless one has a highly elaborated
+    scheduling algorithm that balances workload in an almost optimum
+    manner, there will always be work nodes that finish their part of
+    the job earlier" (§5.2).  LPT is the classic 4/3-approximate
+    balancer: items are assigned heaviest-first to the currently
+    lightest worker.  Each share preserves the items' original relative
+    order (so sequential prefetching stays meaningful).
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    if len(items) != len(weights):
+        raise ValueError(
+            f"{len(items)} items but {len(weights)} weights"
+        )
+    order = sorted(range(len(items)), key=lambda i: -float(weights[i]))
+    loads = [0.0] * group_size
+    picked: list[list[int]] = [[] for _ in range(group_size)]
+    for idx in order:
+        target = loads.index(min(loads))
+        picked[target].append(idx)
+        loads[target] += float(weights[idx])
+    return [[items[i] for i in sorted(share)] for share in picked]
+
+
+def plan_block_assignments(ctx: CommandContext, group_size: int) -> list[list[Any]]:
+    """Standard block-work planning for per-block commands.
+
+    Emits ``(time_index, block_id)`` pairs, time-major.  The default
+    distribution is round-robin; ``params["distribution"] = "balanced"``
+    switches to cost-aware LPT using each block's modeled cell count —
+    the lever for heterogeneous multi-block meshes like the Engine's.
+    """
+    work = [
+        (t, h.block_id)
+        for t in ctx.time_indices
+        for h in ctx.handles_by_time[t - ctx.time_offset]
+    ]
+    if ctx.params.get("distribution", "round-robin") == "balanced":
+        weights = [ctx.handle(t, b).modeled_cells for t, b in work]
+        return split_balanced(work, weights, group_size)
+    return split_round_robin(work, group_size)
+
+
+class CommandRegistry:
+    """Name → command-class lookup (the extension point of layer 3)."""
+
+    def __init__(self) -> None:
+        self._commands: dict[str, type[Command]] = {}
+
+    def register(self, cls: type[Command]) -> type[Command]:
+        if not issubclass(cls, Command):
+            raise TypeError(f"{cls!r} is not a Command subclass")
+        if cls.name in self._commands:
+            raise ValueError(f"command {cls.name!r} already registered")
+        self._commands[cls.name] = cls
+        return cls
+
+    def create(self, name: str, **kwargs) -> Command:
+        try:
+            cls = self._commands[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown command {name!r}; available: {sorted(self._commands)}"
+            ) from None
+        return cls(**kwargs)
+
+    def names(self) -> list[str]:
+        return sorted(self._commands)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._commands

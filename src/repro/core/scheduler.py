@@ -1,0 +1,354 @@
+"""Layer 2: the scheduler.
+
+The scheduler lives on node 0 of the cluster, receives command requests
+from the visualization client over TCP, forms a work group, distributes
+assignments over the message-passing fabric, and coordinates result
+collection: either the master worker gathers partial results and sends
+one merged package (the standard path of §3), or — with streaming —
+workers transmit directly and the scheduler only signals completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from ..des.cluster import SimCluster
+from ..des.kernel import AllOf, Environment, Event
+from ..dms.prefetch import BlockMarkovPrefetcher, SequenceOrder, make_prefetcher
+from ..dms.proxy import DataProxy, DMSConfig
+from ..dms.server import DataManagerServer
+from ..dms.source import BlockSource
+from .channels import Mailbox, SimMPIChannel, SimTCPChannel
+from .commands import Command, CommandContext, CommandRegistry
+from .costs import CostModel, DEFAULT_COSTS
+from .messages import ResultPacket, WorkAssignment, WorkerDone
+from .worker import Worker, WorkerShare
+
+__all__ = ["RunRecord", "Scheduler"]
+
+
+@dataclass
+class RunRecord:
+    """Scheduler-side record of one executed command."""
+
+    request_id: int
+    command: str
+    group_size: int
+    t_start: float
+    t_end: float = 0.0
+    shares: list[WorkerShare] = field(default_factory=list)
+    merged: Any = None
+
+    @property
+    def runtime(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Scheduler:
+    """Owns the worker pool, the DMS server and command dispatch."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: SimCluster,
+        source: BlockSource,
+        registry: CommandRegistry,
+        costs: CostModel = DEFAULT_COSTS,
+        dms_config: DMSConfig | None = None,
+        server: DataManagerServer | None = None,
+        trace=None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.source = source
+        self.registry = registry
+        self.costs = costs
+        self.dms_config = dms_config or DMSConfig()
+        self.server = server or DataManagerServer()
+        self.trace = trace
+        self.mailbox = Mailbox(env, name="scheduler")
+        self.tcp = SimTCPChannel(cluster)
+        self.mpi = SimMPIChannel(cluster, account="other")
+        self.workers: list[Worker] = []
+        for wid, node in enumerate(cluster.worker_nodes):
+            proxy = DataProxy(
+                env, cluster, node, self.server, source,
+                config=self.dms_config, trace=trace,
+            )
+            self.workers.append(
+                Worker(env, cluster, node, proxy, source, wid, trace=trace)
+            )
+        self.history: list[RunRecord] = []
+        from collections import Counter, defaultdict
+
+        self._retained_markov: dict = defaultdict(Counter)
+        # Work-group formation (§3): a command starts "as soon as enough
+        # processes (called workers) are available".  The free pool is a
+        # priority store (lowest ids first, keeping cache placement
+        # stable across sequential runs); the guard serializes
+        # acquisition so two pending commands cannot deadlock by each
+        # grabbing part of the pool.
+        from ..des.resources import PriorityStore, Resource
+
+        self._free_workers = PriorityStore(env)
+        for wid in range(len(self.workers)):
+            self._free_workers.put(wid)
+        self._acquire_guard = Resource(env, capacity=1)
+
+    # ------------------------------------------------------- work groups
+    def acquire_group(self, group_size: int):
+        """Process body: wait for and claim ``group_size`` workers."""
+        with self._acquire_guard.request() as guard:
+            yield guard
+            ids = []
+            for _ in range(group_size):
+                wid = yield self._free_workers.get()
+                ids.append(wid)
+        return sorted(ids)
+
+    def release_group(self, ids) -> None:
+        for wid in ids:
+            self._free_workers.put(wid)
+
+    # ----------------------------------------------------------- helpers
+    def _context(self, params: dict[str, Any]) -> CommandContext:
+        t0, t1 = params.get("time_range", (0, self.source.n_timesteps))
+        if not 0 <= t0 < t1 <= self.source.n_timesteps:
+            raise ValueError(
+                f"invalid time_range ({t0}, {t1}) for {self.source.n_timesteps} steps"
+            )
+        handles_by_time = [self.source.handles(t) for t in range(t0, t1)]
+        return CommandContext(
+            dataset=self.source.name,
+            handles_by_time=handles_by_time,
+            params=dict(params),
+            costs=self.costs,
+            time_offset=t0,
+            times=list(self.source.times[t0:t1]),
+        )
+
+    def _install_prefetchers(
+        self, command: Command, ctx: CommandContext, assignments: list[Any], group: list[Worker]
+    ) -> None:
+        spec = ctx.params.get("prefetch", command.prefetcher_spec(ctx))
+        # The DMS statistical unit is central (§4.2): Markov observations
+        # from all proxies train one shared probability graph.  With
+        # ``retain_markov`` the graph survives across commands — the
+        # paper's "after a learning phase" condition, under which "a
+        # maximum of 95% cache misses could be eliminated".
+        from collections import Counter, defaultdict
+
+        if ctx.params.get("retain_markov"):
+            shared_markov_table = self._retained_markov
+        else:
+            shared_markov_table = defaultdict(Counter)
+        for worker, assignment in zip(group, assignments):
+            if spec == "none":
+                worker.proxy.prefetcher = make_prefetcher("none")
+                continue
+            if spec == "block-markov":
+                block_order = sorted(
+                    h.block_id for h in ctx.handles_by_time[0]
+                )
+                worker.proxy.prefetcher = BlockMarkovPrefetcher(
+                    dataset=ctx.dataset,
+                    n_timesteps=ctx.n_timesteps,
+                    block_order=block_order,
+                    width=int(ctx.params.get("prefetch_width", 1)),
+                    time_offset=ctx.time_offset,
+                    table=shared_markov_table,
+                )
+                continue
+            sequence = command.item_sequence_for(ctx, assignment) or []
+            order = SequenceOrder(sequence)
+            kwargs = {}
+            if spec == "markov+obl":
+                kwargs["width"] = int(ctx.params.get("prefetch_width", 1))
+            worker.proxy.prefetcher = make_prefetcher(spec, order, **kwargs)
+
+    # -------------------------------------------------------- run command
+    def run_command(
+        self,
+        name: str,
+        params: dict[str, Any],
+        group_size: int,
+        client_mailbox: Mailbox,
+        request_id: int,
+        command_kwargs: dict[str, Any] | None = None,
+    ) -> Generator[Event, None, RunRecord]:
+        """Process body: execute one command end to end."""
+        if not 1 <= group_size <= len(self.workers):
+            raise ValueError(
+                f"group_size {group_size} out of range 1..{len(self.workers)}"
+            )
+        command = self.registry.create(name, **(command_kwargs or {}))
+        record = RunRecord(
+            request_id=request_id,
+            command=name,
+            group_size=group_size,
+            t_start=self.env.now,
+        )
+        sched_node = self.cluster.scheduler_node
+        # Command setup (group formation, argument handling), then wait
+        # until enough workers are free to form the group (§3).
+        yield from sched_node.compute(self.costs.command_setup)
+        worker_ids = yield from self.acquire_group(group_size)
+        if self.trace is not None:
+            self.trace.record(
+                self.env.now, 0, "command-start",
+                request=request_id, command=name, workers=list(worker_ids),
+            )
+        try:
+            record = yield from self._run_on_group(
+                command, name, params, worker_ids, client_mailbox, request_id, record
+            )
+        finally:
+            self.release_group(worker_ids)
+        return record
+
+    def _run_on_group(
+        self,
+        command: Command,
+        name: str,
+        params: dict[str, Any],
+        worker_ids,
+        client_mailbox: Mailbox,
+        request_id: int,
+        record: RunRecord,
+    ) -> Generator[Event, None, RunRecord]:
+        group_size = len(worker_ids)
+        sched_node = self.cluster.scheduler_node
+        ctx = self._context(params)
+        group = [self.workers[wid] for wid in worker_ids]
+        assignments = command.plan(ctx, group_size)
+        if len(assignments) != group_size:
+            raise RuntimeError(
+                f"command {name!r} planned {len(assignments)} assignments "
+                f"for group of {group_size}"
+            )
+        self._install_prefetchers(command, ctx, assignments, group)
+
+        # Distribute assignments over the fabric.
+        master_mailbox = Mailbox(self.env, name=f"master-{request_id}")
+        for idx, (worker, assignment) in enumerate(zip(group, assignments)):
+            message = WorkAssignment(
+                request_id=request_id,
+                command=name,
+                params=ctx.params,
+                worker_index=idx,
+                group_size=group_size,
+                assignment=assignment,
+            )
+            yield from self.mpi.send(sched_node, message, worker.mailbox)
+
+        # Execute all shares concurrently.
+        procs = [
+            self.env.process(
+                worker.execute(
+                    command, ctx, assignment, idx, request_id, client_mailbox
+                ),
+                name=f"worker{idx}-{name}",
+            )
+            for idx, (worker, assignment) in enumerate(zip(group, assignments))
+        ]
+        results = yield AllOf(self.env, procs)
+        shares = [results[p] for p in procs]
+        record.shares = shares
+
+        master = group[0]
+        if command.streaming:
+            # Workers streamed directly; signal completion to the client.
+            final = ResultPacket(
+                request_id=request_id,
+                worker_index=0,
+                sequence=sum(s.packets_streamed for s in shares),
+                payload=None,
+                nbytes=0,
+                final=True,
+            )
+            yield from self.tcp.send(master.node, final, client_mailbox)
+        else:
+            # Collect partials at the master worker over the fabric.
+            for share in shares[1:]:
+                yield from group[share.worker_index].send_share_to_master(
+                    share, request_id, master_mailbox
+                )
+            collected = [shares[0].payloads]
+            for _ in shares[1:]:
+                message = yield master_mailbox.get()
+                assert isinstance(message, WorkerDone)
+                collected.append(message.payload)
+            total_nbytes = sum(s.nbytes for s in shares)
+            yield from master.node.compute(self.costs.merge_per_byte * total_nbytes)
+            merged = command.merge(collected)
+            record.merged = merged
+            final = ResultPacket(
+                request_id=request_id,
+                worker_index=0,
+                sequence=0,
+                payload=merged,
+                nbytes=total_nbytes,
+                final=True,
+            )
+            yield from self.tcp.send(master.node, final, client_mailbox)
+
+        record.t_end = self.env.now
+        self.history.append(record)
+        if self.trace is not None:
+            self.trace.record(
+                self.env.now, 0, "command-end",
+                request=request_id, command=name,
+            )
+        return record
+
+    # --------------------------------------------------------- serve loop
+    def serve(self, client_mailbox: Mailbox) -> Generator[Event, None, int]:
+        """Persistent dispatch loop (daemon operation, §3).
+
+        Consumes :class:`CommandRequest` messages from the scheduler
+        mailbox — the way ViSTA FlowLib drives the real system — and
+        spawns one command process per request; commands queue on the
+        worker pool, not on each other.  A :class:`Shutdown` message
+        ends the loop.  Returns the number of commands dispatched.
+        """
+        from .messages import CommandRequest, Shutdown
+
+        dispatched = 0
+        while True:
+            message = yield self.mailbox.get()
+            if isinstance(message, Shutdown):
+                return dispatched
+            if not isinstance(message, CommandRequest):
+                continue
+            group_size = message.group_size or len(self.workers)
+            self.env.process(
+                self.run_command(
+                    message.command,
+                    dict(message.params),
+                    group_size,
+                    client_mailbox,
+                    message.request_id,
+                ),
+                name=f"serve-{message.command}-{message.request_id}",
+            )
+            dispatched += 1
+
+    # ---------------------------------------------------------- warm-ups
+    def clear_caches(self) -> None:
+        """Cold-start state: drop every proxy's cache tiers."""
+        for worker in self.workers:
+            for key in list(worker.proxy.cache.l1.keys()):
+                self.server.unregister_holder(key, worker.node.node_id)
+            if worker.proxy.cache.l2 is not None:
+                for key in list(worker.proxy.cache.l2.keys()):
+                    self.server.unregister_holder(key, worker.node.node_id)
+            worker.proxy.cache.clear()
+
+    def aggregate_dms_stats(self):
+        from ..dms.stats import DMSStatistics
+
+        agg = DMSStatistics()
+        for worker in self.workers:
+            agg.merge(worker.proxy.stats)
+        return agg

@@ -1,0 +1,295 @@
+"""The client-facing session facade.
+
+:class:`ViracochaSession` wires a synthetic (or on-disk) dataset, the
+simulated cluster, the DMS and the scheduler together and exposes one
+call — :meth:`run` — that submits a command exactly the way ViSTA
+FlowLib would: a TCP request to the scheduler, parallel extraction on
+the workers, packets back to the visualization client.
+
+All results carry both the *real* extracted geometry and the *simulated*
+timing record (total runtime, latency, per-component breakdown), which
+is what the benchmark harness consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..des.cluster import ClusterConfig, NodeBreakdown, SimCluster
+from ..des.kernel import Environment
+from ..dms.loading import AdaptiveSelector
+from ..dms.proxy import DMSConfig
+from ..dms.server import DataManagerServer
+from ..dms.source import BlockSource, SyntheticSource
+from ..synth.base import SyntheticDataset
+from ..viz.client import VisualizationClient
+from .channels import SimTCPChannel
+from .commands import CommandRegistry
+from .costs import CostModel, DEFAULT_COSTS
+from .messages import CommandRequest, next_request_id
+from .scheduler import Scheduler
+
+__all__ = ["CommandResult", "ViracochaSession"]
+
+
+@dataclass
+class CommandResult:
+    """Everything one command run produced and measured."""
+
+    command: str
+    params: dict[str, Any]
+    group_size: int
+    total_runtime: float  #: submit → final package at the client [sim s]
+    latency: float  #: submit → first data at the client [sim s]
+    n_packets: int
+    packet_times: list[float]
+    geometry: Any  #: merged TriangleMesh (or command-specific payload)
+    payloads: list[Any]
+    breakdown: dict[str, float]  #: compute/read/send/other seconds (workers)
+    dms: dict[str, Any]
+    strategy_decisions: dict[str, int]
+
+    @property
+    def breakdown_fractions(self) -> dict[str, float]:
+        total = sum(self.breakdown.values())
+        if total == 0:
+            return {k: 0.0 for k in self.breakdown}
+        return {k: v / total for k, v in self.breakdown.items()}
+
+    def interaction_report(self, criteria=None, renderer=None) -> dict[str, object]:
+        """Check this result against the §1.1 VR interaction criteria.
+
+        The response-time criterion applies to the first feedback the
+        user perceives — with streaming, the first partial result.
+        """
+        from ..viz.client import FrameRateModel, InteractionCriteria
+        from ..viz.mesh import TriangleMesh
+
+        criteria = criteria or InteractionCriteria()
+        renderer = renderer or FrameRateModel()
+        n_triangles = (
+            self.geometry.n_triangles
+            if isinstance(self.geometry, TriangleMesh)
+            else 0
+        )
+        frame_rate = renderer.frame_rate(n_triangles)
+        return {
+            "frame_rate_hz": frame_rate,
+            "frame_rate_ok": criteria.frame_rate_ok(frame_rate),
+            "first_feedback_s": self.latency,
+            "response_time_ok": criteria.response_time_ok(self.latency),
+        }
+
+
+class ViracochaSession:
+    """One client ↔ cluster session over a fixed dataset."""
+
+    def __init__(
+        self,
+        dataset: SyntheticDataset | BlockSource,
+        n_workers: int = 4,
+        cluster_config: ClusterConfig | None = None,
+        dms_config: DMSConfig | None = None,
+        costs: CostModel = DEFAULT_COSTS,
+        registry: CommandRegistry | None = None,
+        adaptive_loading: bool = True,
+        trace: bool = False,
+    ):
+        self.source: BlockSource = (
+            SyntheticSource(dataset)
+            if isinstance(dataset, SyntheticDataset)
+            else dataset
+        )
+        self.env = Environment()
+        config = cluster_config or ClusterConfig(n_workers=n_workers)
+        if config.n_workers != n_workers and cluster_config is None:
+            config = ClusterConfig(n_workers=n_workers)
+        self.cluster = SimCluster(self.env, config)
+        if registry is None:
+            from ..commands import default_registry
+
+            registry = default_registry()
+        server = DataManagerServer(AdaptiveSelector(adaptive=adaptive_loading))
+        from ..des.trace import TraceRecorder
+
+        self.trace = TraceRecorder(enabled=True) if trace else None
+        self.scheduler = Scheduler(
+            self.env,
+            self.cluster,
+            self.source,
+            registry,
+            costs=costs,
+            dms_config=dms_config,
+            server=server,
+            trace=self.trace,
+        )
+        self.client = VisualizationClient(self.env)
+        self.n_workers = config.n_workers
+
+    # ---------------------------------------------------------------- run
+    def run(
+        self,
+        command: str,
+        params: dict[str, Any] | None = None,
+        group_size: int | None = None,
+        **command_kwargs: Any,
+    ) -> CommandResult:
+        """Submit one command and simulate it to completion."""
+        params = dict(params or {})
+        group_size = group_size if group_size is not None else self.n_workers
+        request_id = next_request_id()
+
+        self.client.reset()
+        done = self.client.start_listening()
+        breakdown_before = self._worker_breakdown()
+        stats_before = self._dms_snapshot()
+        t_submit = self.env.now
+
+        def submit():
+            # Client → scheduler request over TCP (charged on the link,
+            # not attributed to any worker node).
+            request = CommandRequest(request_id, command, params)
+            yield from self.cluster.client_link.transfer(request.nbytes)
+            record = yield from self.scheduler.run_command(
+                command,
+                params,
+                group_size,
+                self.client.mailbox,
+                request_id,
+                command_kwargs=command_kwargs,
+            )
+            return record
+
+        proc = self.env.process(submit(), name=f"run-{command}")
+        self.env.run(until=proc)
+        self.env.run(until=done)
+
+        breakdown_after = self._worker_breakdown()
+        stats_after = self._dms_snapshot()
+        first = self.client.first_data_time
+        final = self.client.final_time
+        if final is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"command {command!r} produced no final packet")
+        return CommandResult(
+            command=command,
+            params=params,
+            group_size=group_size,
+            total_runtime=final - t_submit,
+            latency=(first - t_submit) if first is not None else final - t_submit,
+            n_packets=len(self.client.packets),
+            packet_times=[p.time - t_submit for p in self.client.packets],
+            geometry=self.client.merged_geometry(),
+            payloads=list(self.client.payloads),
+            breakdown={
+                k: breakdown_after[k] - breakdown_before[k] for k in breakdown_after
+            },
+            dms=self._diff_stats(stats_before, stats_after),
+            strategy_decisions=dict(self.scheduler.server.selector.decisions),
+        )
+
+    # ------------------------------------------------------------ helpers
+    def _worker_breakdown(self) -> dict[str, float]:
+        agg = NodeBreakdown()
+        for node in self.cluster.worker_nodes:
+            agg.add(node.breakdown)
+        return {
+            "compute": agg.compute,
+            "read": agg.read,
+            "send": agg.send,
+            "other": agg.other,
+        }
+
+    def _dms_snapshot(self) -> dict[str, float]:
+        agg = self.scheduler.aggregate_dms_stats()
+        return {
+            "requests": agg.requests,
+            "hits": agg.hits,
+            "misses": agg.misses,
+            "prefetches_issued": agg.prefetches_issued,
+            "prefetches_useful": agg.prefetches_useful,
+            "misses_covered": agg.misses_covered,
+            "bytes_loaded": agg.bytes_loaded,
+        }
+
+    @staticmethod
+    def _diff_stats(before: dict, after: dict) -> dict:
+        return {k: after[k] - before[k] for k in after}
+
+    # ------------------------------------------------------- concurrency
+    def run_concurrent(self, requests: list[dict[str, Any]]) -> list[CommandResult]:
+        """Submit several commands at once; work groups form as workers
+        free up (§3: "as soon as enough processes are available").
+
+        Each request dict takes the :meth:`run` arguments: ``command``
+        (required), ``params``, ``group_size``.  Commands whose combined
+        group sizes exceed the worker pool queue behind each other.
+        Per-node breakdowns cannot be attributed to a single command in
+        this mode, so results carry empty ``breakdown``/``dms`` fields.
+        """
+        if not requests:
+            return []
+        self.client.reset()
+        t_submit = self.env.now
+        submissions = []
+        for spec in requests:
+            command = spec["command"]
+            params = dict(spec.get("params") or {})
+            group_size = spec.get("group_size") or self.n_workers
+            request_id = next_request_id()
+            done = self.client.expect(request_id)
+
+            def submit(command=command, params=params, group_size=group_size,
+                       request_id=request_id):
+                request = CommandRequest(request_id, command, params)
+                yield from self.cluster.client_link.transfer(request.nbytes)
+                record = yield from self.scheduler.run_command(
+                    command, params, group_size, self.client.mailbox, request_id
+                )
+                return record
+
+            proc = self.env.process(submit(), name=f"run-{command}-{request_id}")
+            submissions.append((command, params, group_size, request_id, done, proc))
+
+        results = []
+        for command, params, group_size, request_id, done, proc in submissions:
+            self.env.run(until=proc)
+            self.env.run(until=done)
+            packets = self.client.packets_by_request.get(request_id, [])
+            payloads = self.client.payloads_by_request.get(request_id, [])
+            first = next(
+                (p.time for p in packets if p.nbytes > 0 or p.n_triangles > 0), None
+            )
+            final = next((p.time for p in packets if p.final), self.env.now)
+            from ..viz.mesh import TriangleMesh
+
+            meshes = [p for p in payloads if isinstance(p, TriangleMesh)]
+            results.append(
+                CommandResult(
+                    command=command,
+                    params=params,
+                    group_size=group_size,
+                    total_runtime=final - t_submit,
+                    latency=(first if first is not None else final) - t_submit,
+                    n_packets=len(packets),
+                    packet_times=[p.time - t_submit for p in packets],
+                    geometry=TriangleMesh.merge(meshes),
+                    payloads=list(payloads),
+                    breakdown={},
+                    dms={},
+                    strategy_decisions=dict(
+                        self.scheduler.server.selector.decisions
+                    ),
+                )
+            )
+        return results
+
+    def clear_caches(self) -> None:
+        """Return every proxy to a cold-cache state."""
+        self.scheduler.clear_caches()
+
+    def warm_cache(self, command: str, params: dict[str, Any] | None = None,
+                   group_size: int | None = None, **command_kwargs) -> None:
+        """Issue one call in advance so measurements run on cached data,
+        exactly as the paper's methodology prescribes (§7)."""
+        self.run(command, params, group_size, **command_kwargs)

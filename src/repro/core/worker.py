@@ -1,0 +1,158 @@
+"""Layer 2: workers.
+
+A worker executes its share of a command by driving the command's op
+generator (layer 3), charging simulated time for loads, computation and
+transmission, while producing *real* geometry.
+
+"Whenever the user requires a new CFD feature, a command is sent [...]
+As soon as enough processes (called workers) are available, they form a
+work group and a new parallel post-processing task is started." (§3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from ..des.cluster import SimCluster, SimNode
+from ..des.kernel import Environment, Event
+from ..dms.proxy import DataProxy
+from ..dms.source import BlockSource
+from .channels import Mailbox, SimMPIChannel, SimTCPChannel
+from .commands import Command, CommandContext, Compute, Emit, Load, Prefetch
+from .messages import ProgressUpdate, ResultPacket, WorkerDone
+
+__all__ = ["Worker", "WorkerShare"]
+
+
+@dataclass
+class WorkerShare:
+    """What one worker produced for one command (returned to the master)."""
+
+    worker_index: int
+    payloads: list[Any] = field(default_factory=list)
+    nbytes: int = 0
+    packets_streamed: int = 0
+
+
+class Worker:
+    """One computing process of the cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: SimCluster,
+        node: SimNode,
+        proxy: DataProxy,
+        source: BlockSource,
+        worker_id: int,
+        trace=None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.node = node
+        self.proxy = proxy
+        self.source = source
+        self.worker_id = worker_id
+        self.trace = trace
+        self.mailbox = Mailbox(env, name=f"worker{worker_id}")
+        self.tcp = SimTCPChannel(cluster)
+        self.mpi = SimMPIChannel(cluster)
+
+    # ----------------------------------------------------------- loading
+    def _load_direct(self, item) -> Generator[Event, None, Any]:
+        """Bypass the DMS: read from the fileserver every single time.
+
+        This is what the paper's Simple* baselines do — no cache, no
+        prefetch, no cooperative transfers.
+        """
+        nbytes = self.source.modeled_bytes(item)
+        yield from self.cluster.read_fileserver(self.node, nbytes)
+        return self.source.get(item)
+
+    # ---------------------------------------------------------- execute
+    def execute(
+        self,
+        command: Command,
+        ctx: CommandContext,
+        assignment: Any,
+        worker_index: int,
+        request_id: int,
+        client_mailbox: Mailbox,
+    ) -> Generator[Event, None, WorkerShare]:
+        """Process body: run one assignment to completion."""
+        share = WorkerShare(worker_index=worker_index)
+        gen = command.run(ctx, assignment, worker_index)
+        # Optional §9 progress feedback: one tiny packet per block load.
+        report_progress = bool(ctx.params.get("progress"))
+        try:
+            progress_total = len(assignment)
+        except TypeError:
+            progress_total = 0
+        progress_done = 0
+        op_result: Any = None
+        while True:
+            try:
+                op = gen.send(op_result)
+            except StopIteration:
+                break
+            op_result = None
+            if isinstance(op, Load):
+                if command.use_dms:
+                    op_result = yield from self.proxy.request(op.item)
+                else:
+                    op_result = yield from self._load_direct(op.item)
+                if report_progress and progress_total:
+                    progress_done = min(progress_done + 1, progress_total)
+                    update = ProgressUpdate(
+                        request_id=request_id,
+                        worker_index=worker_index,
+                        completed=progress_done,
+                        total=progress_total,
+                    )
+                    yield from self.tcp.send(self.node, update, client_mailbox)
+            elif isinstance(op, Compute):
+                op_result = op.fn() if op.fn is not None else None
+                yield from self.node.compute(op.cost)
+            elif isinstance(op, Emit):
+                if command.streaming:
+                    if ctx.costs.stream_packet_overhead:
+                        yield from self.node.compute(ctx.costs.stream_packet_overhead)
+                    packet = ResultPacket(
+                        request_id=request_id,
+                        worker_index=worker_index,
+                        sequence=share.packets_streamed,
+                        payload=op.payload,
+                        nbytes=op.nbytes,
+                    )
+                    share.packets_streamed += 1
+                    yield from self.tcp.send(self.node, packet, client_mailbox)
+                    if self.trace is not None:
+                        self.trace.record(
+                            self.env.now,
+                            self.node.node_id,
+                            "stream",
+                            request=request_id,
+                            nbytes=op.nbytes,
+                        )
+                else:
+                    share.payloads.append(op.payload)
+                    share.nbytes += op.nbytes
+            elif isinstance(op, Prefetch):
+                if command.use_dms:
+                    self.proxy.prefetch(op.item)
+            else:
+                raise TypeError(f"command {command.name!r} yielded unknown op {op!r}")
+        return share
+
+    def send_share_to_master(
+        self, share: WorkerShare, request_id: int, master_mailbox: Mailbox
+    ) -> Generator[Event, None, None]:
+        """Transfer this worker's buffered partial result over the fabric."""
+        message = WorkerDone(
+            request_id=request_id,
+            worker_index=share.worker_index,
+            partial_nbytes=share.nbytes,
+            payload=share.payloads,
+        )
+        yield from self.mpi.send(self.node, message, master_mailbox)

@@ -1,0 +1,386 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, simpy-like engine.  Simulation *processes* are
+Python generators that ``yield`` :class:`Event` objects; the
+:class:`Environment` owns the event calendar and advances simulated time.
+
+This kernel is the execution substrate for the simulated Viracocha
+cluster (:mod:`repro.des.cluster`): everything the paper measured on a
+24-CPU SUN Fire 6800 runs here as coroutines over a virtual clock, which
+makes runtimes for 1..16 workers reproducible on a single host core.
+
+Determinism rules:
+
+* events scheduled at the same time fire in FIFO order of scheduling
+  (a monotonically increasing sequence number breaks heap ties);
+* no wall-clock or OS randomness is consulted anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any, Callable
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. triggering an event twice)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; it is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, after which its callbacks run at the
+    current simulation time.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._ok: bool | None = None
+        self._triggered = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = tuple(events)
+        self._count = 0
+        if any(e.env is not env for e in self.events):
+            raise SimulationError("events from different environments")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for e in self.events:
+            if e.processed:
+                self._check(e)
+            elif e.callbacks is not None:
+                e.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            # The condition already fired, but later component failures
+            # must still be marked handled or they would crash the run.
+            if event._triggered and not event._ok:
+                event.defuse()
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every component event has triggered."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Triggers when the first component event triggers."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class Process(Event):
+    """Wraps a generator; itself an event that triggers on completion.
+
+    The generator yields :class:`Event` instances (including other
+    processes).  When a yielded event fails and the failure is not
+    handled by the generator, the process fails with the same exception.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        env = self.env
+
+        def _do(_evt: Event) -> None:
+            if self._triggered:
+                return
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+            self._step(Interrupt(cause))
+
+        hook = Event(env)
+        hook.callbacks.append(_do)
+        hook.succeed()
+
+    # -- driving ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step_send(event._value)
+        else:
+            event.defuse()
+            self._step(event._value)
+
+    def _step_send(self, value: Any) -> None:
+        self.env._active = self
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.env._active = None
+        self._wait(target)
+
+    def _step(self, exc: BaseException) -> None:
+        self.env._active = self
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            if err is exc and not isinstance(err, Interrupt):
+                # Unhandled failure propagated out of the generator.
+                self.fail(err)
+            elif isinstance(err, StopIteration):  # pragma: no cover
+                self.succeed(err.value)
+            else:
+                self.fail(err)
+            return
+        finally:
+            self.env._active = None
+        self._wait(target)
+
+    def _wait(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            self._step(exc)
+            return
+        if target.env is not self.env:
+            self._step(SimulationError("yielded event from another environment"))
+            return
+        if target.processed:
+            # Already fired; resume immediately (next scheduling slot).
+            resume = Event(self.env)
+            resume.callbacks.append(lambda _e: self._resume_processed(target))
+            resume.succeed()
+            self._target = target
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+    def _resume_processed(self, target: Event) -> None:
+        self._target = None
+        if target._ok:
+            self._step_send(target._value)
+        else:
+            target.defuse()
+            self._step(target._value)
+
+
+class Environment:
+    """Owns the simulation clock and the event calendar."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active: Process | None = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active
+
+    # -- factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks or ():
+            cb(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the calendar empties, a deadline, or an event fires.
+
+        Returns the event's value when ``until`` is an :class:`Event`.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before target event fired"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            stop.defuse()
+            raise stop._value
+        deadline = float("inf") if until is None else float(until)
+        if deadline != float("inf") and deadline < self._now:
+            raise ValueError(f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,128 @@
+"""Network links with bandwidth and latency for the simulated cluster.
+
+A :class:`Link` is a serialized channel: concurrent transfers queue and
+each occupies the wire for ``nbytes / bandwidth`` after a fixed
+per-message ``latency``.  This is intentionally simple — it is exactly
+enough to reproduce the effect the paper reports at 16 workers, where
+many workers "literally firing data at the visualization system"
+saturate the client connection and communication overhead exceeds the
+parallelization profit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from .kernel import AnyOf, Environment, Event
+from .resources import Resource
+
+__all__ = ["Link", "LinkStats", "TransferToken"]
+
+
+class TransferToken:
+    """Escalation handle for a background transfer.
+
+    A speculative (prefetch) transfer queues at low priority; if a
+    demand consumer starts waiting on its result, calling
+    :meth:`boost` re-queues the pending wire request at demand
+    priority, avoiding priority inversion.  Boosting a transfer that
+    already holds the wire (or already finished) is a no-op.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._event = env.event()
+
+    @property
+    def boosted(self) -> bool:
+        return self._event.triggered
+
+    def boost(self) -> None:
+        if not self._event.triggered:
+            self._event.succeed()
+
+
+@dataclass
+class LinkStats:
+    """Aggregate accounting for one link."""
+
+    transfers: int = 0
+    bytes_sent: int = 0
+    busy_time: float = 0.0
+    wait_time: float = 0.0
+
+
+class Link:
+    """A point-to-point (or shared-medium) serialized network link.
+
+    Parameters
+    ----------
+    bandwidth:
+        Sustained throughput in bytes per simulated second.
+    latency:
+        Fixed per-message overhead in simulated seconds (protocol and
+        propagation cost; the paper's MPI vs TCP/IP distinction lives
+        here).
+    streams:
+        Number of transfers that may occupy the wire concurrently; each
+        concurrent stream gets the full ``bandwidth`` (a simplification
+        used only where the paper's setup implies independent paths,
+        e.g. node-local disks).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        latency: float = 0.0,
+        name: str = "link",
+        streams: int = 1,
+    ):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.name = name
+        self._wire = Resource(env, capacity=streams)
+        self.stats = LinkStats()
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Unloaded duration of a transfer of ``nbytes``."""
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(
+        self, nbytes: int, priority: int = 0, token: TransferToken | None = None
+    ) -> Generator[Event, None, None]:
+        """Process body: occupy the wire for one message of ``nbytes``.
+
+        ``priority > 0`` marks background traffic (speculative prefetch
+        reads) that must never delay queued demand transfers.  A
+        ``token`` lets a later demand consumer :meth:`~TransferToken.boost`
+        this transfer back to demand priority while it still queues.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        t_req = self.env.now
+        req = self._wire.request(priority=priority)
+        if token is not None and not req.triggered:
+            escalated = yield AnyOf(self.env, [req, token._event])
+            if not req.triggered:
+                # Boost: abandon the queued slot, re-request at demand
+                # priority, and wait normally.
+                self._wire.cancel(req)
+                req = self._wire.request(priority=0)
+        if not req.processed:
+            yield req
+        try:
+            self.stats.wait_time += self.env.now - t_req
+            duration = self.transfer_time(nbytes)
+            yield self.env.timeout(duration)
+            self.stats.transfers += 1
+            self.stats.bytes_sent += nbytes
+            self.stats.busy_time += duration
+        finally:
+            self._wire.release(req)

@@ -1,0 +1,64 @@
+"""Event tracing for simulated runs.
+
+A :class:`TraceRecorder` collects timestamped records (command started,
+block loaded, packet streamed, ...) so benchmarks and tests can assert
+on *when* things happened, not only on final results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    node: int
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent(t={self.time:.4f}, node={self.node}, {self.kind}, {self.detail})"
+
+
+class TraceRecorder:
+    """Append-only log of :class:`TraceEvent` records."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, node: int, kind: str, **detail: Any) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time, node, kind, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def first(self, kind: str) -> TraceEvent | None:
+        for e in self.events:
+            if e.kind == kind:
+                return e
+        return None
+
+    def last(self, kind: str) -> TraceEvent | None:
+        found = None
+        for e in self.events:
+            if e.kind == kind:
+                found = e
+        return found
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def clear(self) -> None:
+        self.events.clear()

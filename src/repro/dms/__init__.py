@@ -1,0 +1,64 @@
+"""The Viracocha Data Management System (paper §4)."""
+
+from .items import ItemName, NameResolver, NameService, block_item
+from .policies import FBRPolicy, LFUPolicy, LRUPolicy, make_policy
+from .cache import CacheStats, CacheTier, TwoTierCache
+from .prefetch import (
+    BlockMarkovPrefetcher,
+    MarkovOBLPrefetcher,
+    MarkovPrefetcher,
+    NoPrefetcher,
+    OBLPrefetcher,
+    PrefetchOnMissPrefetcher,
+    Prefetcher,
+    SequenceOrder,
+    make_prefetcher,
+)
+from .loading import (
+    AdaptiveSelector,
+    CollectiveLoad,
+    FileServerLoad,
+    LoadContext,
+    LoadingStrategy,
+    NodeTransferLoad,
+)
+from .stats import DMSStatistics
+from .server import DataManagerServer
+from .source import BlockSource, StoreSource, SyntheticSource
+from .proxy import DataProxy, DMSConfig
+
+__all__ = [
+    "ItemName",
+    "NameResolver",
+    "NameService",
+    "block_item",
+    "FBRPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "make_policy",
+    "CacheStats",
+    "CacheTier",
+    "TwoTierCache",
+    "BlockMarkovPrefetcher",
+    "MarkovOBLPrefetcher",
+    "MarkovPrefetcher",
+    "NoPrefetcher",
+    "OBLPrefetcher",
+    "PrefetchOnMissPrefetcher",
+    "Prefetcher",
+    "SequenceOrder",
+    "make_prefetcher",
+    "AdaptiveSelector",
+    "CollectiveLoad",
+    "FileServerLoad",
+    "LoadContext",
+    "LoadingStrategy",
+    "NodeTransferLoad",
+    "DMSStatistics",
+    "DataManagerServer",
+    "BlockSource",
+    "StoreSource",
+    "SyntheticSource",
+    "DataProxy",
+    "DMSConfig",
+]

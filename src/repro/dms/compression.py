@@ -1,0 +1,84 @@
+"""Compression trade-off model for data transfers.
+
+The paper considered compressing node-to-node transfers in the
+cooperative cache but rejected it: "Data compression has been
+considered, too, but has been found ineffective due to long runtimes
+and low compression rates compared to transmission time" (§4.3).
+
+This module makes that engineering judgement reproducible: given a
+codec's throughput and ratio and a link's bandwidth, it answers whether
+compressing a transfer wins.  CFD float fields compress poorly (ratios
+near 1.2-1.4 for lossless codecs of the era) and 2004-class CPUs
+compressed at a few tens of MB/s — hopeless against a shared-memory
+fabric, marginal even against fast LANs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CompressionModel", "GZIP_2004", "LZO_2004"]
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """One codec's characteristics on CFD block data."""
+
+    name: str
+    #: achieved size ratio (compressed / raw); CFD floats compress badly.
+    ratio: float
+    #: compression throughput in raw bytes/s.
+    compress_rate: float
+    #: decompression throughput in raw bytes/s.
+    decompress_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {self.ratio}")
+        if self.compress_rate <= 0 or self.decompress_rate <= 0:
+            raise ValueError("codec rates must be positive")
+
+    def plain_time(self, nbytes: int, bandwidth: float, latency: float = 0.0) -> float:
+        """Wire time for an uncompressed transfer."""
+        return latency + nbytes / bandwidth
+
+    def compressed_time(
+        self, nbytes: int, bandwidth: float, latency: float = 0.0
+    ) -> float:
+        """End-to-end time: compress, ship the smaller payload, decompress.
+
+        Compression and transfer are assumed non-overlapped (store-and-
+        forward, as a simple sender-side implementation would behave).
+        """
+        return (
+            nbytes / self.compress_rate
+            + latency
+            + (nbytes * self.ratio) / bandwidth
+            + nbytes / self.decompress_rate
+        )
+
+    def worthwhile(self, nbytes: int, bandwidth: float, latency: float = 0.0) -> bool:
+        """Does compressing this transfer reduce end-to-end time?"""
+        return self.compressed_time(nbytes, bandwidth, latency) < self.plain_time(
+            nbytes, bandwidth, latency
+        )
+
+    def breakeven_bandwidth(self) -> float:
+        """Link bandwidth below which compression starts to pay off.
+
+        Solves plain == compressed for the bandwidth (independent of the
+        transfer size once latency is negligible).
+        """
+        codec = 1.0 / self.compress_rate + 1.0 / self.decompress_rate
+        return (1.0 - self.ratio) / codec
+
+
+#: gzip-class codec on float CFD blocks, 2004-era CPU.
+GZIP_2004 = CompressionModel(
+    name="gzip", ratio=0.75, compress_rate=15e6, decompress_rate=60e6
+)
+
+#: fast-but-weak LZO-class codec.
+LZO_2004 = CompressionModel(
+    name="lzo", ratio=0.85, compress_rate=80e6, decompress_rate=200e6
+)

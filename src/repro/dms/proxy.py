@@ -1,0 +1,276 @@
+"""Per-node data proxies.
+
+"Every computing node owns a data proxy that is responsible for the
+retrieval of data asked for by a command.  Proxies act like a black box
+with the possibility to change system parameters from outside but not
+the result of a data request." (§4.1)
+
+A proxy combines the node's two-tier cache, its name resolver, the
+prefetcher, and — on every forced load — a strategy query to the
+central data manager server.  All time costs are charged on the
+simulated cluster: local-disk transfers for L2 crossings, fabric
+messages for strategy queries and node-to-node transfers, fileserver
+reads for cold loads.
+
+Proxies are deliberately *not* arranged in work groups: they may
+exchange data across group boundaries (the greedy cooperative cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..des.cluster import SimCluster, SimNode
+from ..des.kernel import Environment, Event
+from ..des.network import TransferToken
+from ..grids.block import StructuredBlock
+from .cache import CacheTier, TwoTierCache
+from .items import ItemName, NameResolver
+from .loading import LoadContext, NodeTransferLoad
+from .prefetch import NoPrefetcher, Prefetcher
+from .server import DataManagerServer
+from .source import BlockSource
+from .stats import DMSStatistics
+
+__all__ = ["DMSConfig", "DataProxy"]
+
+#: size of the strategy-query / reply messages on the fabric.
+_QUERY_BYTES = 256
+
+
+@dataclass
+class DMSConfig:
+    """Tunable parameters of one proxy (the "black box" dials)."""
+
+    l1_capacity: int = 2 * 1024**3
+    l2_capacity: int | None = 8 * 1024**3  #: None disables the disk tier
+    replacement: str = "fbr"
+    enable_prefetch: bool = True
+    #: extra fabric round trip to the server per forced load (§4.3).
+    strategy_query: bool = True
+    #: cap on concurrently in-flight prefetch loads per proxy; OBL is by
+    #: definition one-block-lookahead, so speculative reads must not
+    #: stampede the fileserver ahead of demand misses.
+    max_inflight_prefetches: int = 4
+
+
+class DataProxy:
+    """One node's gateway to named data items."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: SimCluster,
+        node: SimNode,
+        server: DataManagerServer,
+        source: BlockSource,
+        config: DMSConfig | None = None,
+        prefetcher: Prefetcher | None = None,
+        trace=None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.node = node
+        self.server = server
+        self.source = source
+        self.config = config or DMSConfig()
+        l1 = CacheTier(self.config.l1_capacity, self.config.replacement, name="l1")
+        l2 = (
+            CacheTier(self.config.l2_capacity, self.config.replacement, name="l2")
+            if self.config.l2_capacity
+            else None
+        )
+        self.cache = TwoTierCache(l1, l2)
+        self.resolver = NameResolver(server.names)
+        self.prefetcher = prefetcher if prefetcher is not None else NoPrefetcher()
+        self.stats = DMSStatistics()
+        self.trace = trace
+        self._inflight: dict[int, Event] = {}
+        self._inflight_tokens: dict[int, "TransferToken"] = {}
+        self._inflight_prefetches = 0
+
+    # ---------------------------------------------------------- helpers
+    def holds(self, item: ItemName) -> str | None:
+        return self.cache.holds(self.resolver.resolve(item))
+
+    def _admit(self, ident: int, payload: StructuredBlock, nbytes: int) -> list:
+        spilled = self.cache.put(ident, payload, nbytes)
+        self.server.register_holder(ident, self.node.node_id)
+        # Items that fell out of both tiers are gone from this node.
+        for key, _payload, _nb in spilled:
+            if self.cache.holds(key) is None:
+                self.server.unregister_holder(key, self.node.node_id)
+                self.stats.forget_prefetched(key)
+        return spilled
+
+    def _build_context(self, ident: int, nbytes: int) -> LoadContext:
+        cfg = self.cluster.config
+        return LoadContext(
+            key=ident,
+            nbytes=nbytes,
+            requester=self.node.node_id,
+            holders=self.server.holders(ident),
+            fileserver_queue=self.cluster.fileserver._wire.queue_len,
+            fabric_queue=self.cluster.fabric._wire.queue_len,
+            concurrent_requesters=self.server.concurrent_requesters(ident),
+            fileserver_bandwidth=cfg.fileserver_bandwidth,
+            fileserver_latency=cfg.fileserver_latency,
+            fabric_bandwidth=cfg.fabric_bandwidth,
+            fabric_latency=cfg.fabric_latency,
+            fileserver_reliability=self.server.fileserver_reliability,
+        )
+
+    # ------------------------------------------------------------- load
+    def _forced_load(
+        self,
+        item: ItemName,
+        ident: int,
+        nbytes: int,
+        demand: bool,
+        token: "TransferToken | None" = None,
+    ) -> Generator[Event, None, StructuredBlock]:
+        """Process body: run one forced load, charging simulated time."""
+        self.server.note_request_start(ident)
+        try:
+            if self.config.strategy_query:
+                # Ask the central server which strategy to use (§4.3's
+                # "additional communication for every load operation").
+                yield from self.cluster.fabric_transfer(
+                    self.node, _QUERY_BYTES, account="other"
+                )
+            strategy = self.server.choose_strategy(
+                self._build_context(ident, nbytes)
+            )
+            priority = 0 if demand else 1  # prefetch I/O yields to demand
+            if isinstance(strategy, NodeTransferLoad):
+                yield from self.cluster.fabric_transfer(
+                    self.node, nbytes, account="read"
+                )
+            elif strategy.name == "collective":
+                k = self.server.concurrent_requesters(ident)
+                # One shared fileserver read, then a fabric broadcast;
+                # the shared read's cost is split across participants.
+                yield from self.cluster.read_fileserver(
+                    self.node, nbytes // max(k, 1), priority=priority
+                )
+                yield from self.cluster.fabric_transfer(
+                    self.node, nbytes, account="read"
+                )
+            else:
+                yield from self.cluster.read_fileserver(
+                    self.node, nbytes, priority=priority, token=token
+                )
+            self.stats.record_load(strategy.name, nbytes)
+            if self.trace is not None:
+                self.trace.record(
+                    self.env.now,
+                    self.node.node_id,
+                    "load",
+                    item=str(item),
+                    strategy=strategy.name,
+                    nbytes=nbytes,
+                    demand=demand,
+                )
+            payload = self.source.get(item)
+            spilled = self._admit(ident, payload, nbytes)
+            # Spills to the disk tier cost a local write.
+            if self.cache.l2 is not None:
+                for _key, _p, spill_bytes in spilled:
+                    yield from self.node.write_local(spill_bytes)
+            return payload
+        finally:
+            self.server.note_request_end(ident)
+
+    # ---------------------------------------------------------- request
+    def request(self, item: ItemName) -> Generator[Event, None, StructuredBlock]:
+        """Process body: return the block for ``item`` (demand access)."""
+        ident = self.resolver.resolve(item)
+        payload, where = self.cache.get(ident)
+        self.stats.record_request(ident, where)
+        if where == "l2":
+            # Promotion from the disk tier costs a local read.
+            yield from self.node.read_local(self.source.modeled_bytes(item))
+        if payload is None:
+            pending = self._inflight.get(ident)
+            if pending is not None:
+                # Demand now depends on an in-flight (possibly
+                # background-priority) load: escalate it.
+                boost = self._inflight_tokens.get(ident)
+                if boost is not None:
+                    boost.boost()
+                self.stats.record_inflight_hit(ident)
+                t_wait = self.env.now
+                yield pending
+                self.node.breakdown.read += self.env.now - t_wait
+                payload, _ = self.cache.get(ident)
+                if payload is None:  # evicted between load and wakeup
+                    payload = yield from self._forced_load(
+                        item, ident, self.source.modeled_bytes(item), demand=True
+                    )
+            else:
+                done = self.env.event()
+                self._inflight[ident] = done
+                try:
+                    payload = yield from self._forced_load(
+                        item, ident, self.source.modeled_bytes(item), demand=True
+                    )
+                finally:
+                    del self._inflight[ident]
+                    done.succeed()
+        self._issue_prefetches(item, was_hit=where != "miss")
+        return payload
+
+    # --------------------------------------------------------- prefetch
+    def _issue_prefetches(self, item: ItemName, was_hit: bool) -> None:
+        suggestions = self.prefetcher.observe(item, was_hit)
+        if not self.config.enable_prefetch:
+            return
+        for suggestion in suggestions:
+            self.prefetch(suggestion)
+
+    def prefetch(self, item: ItemName) -> bool:
+        """Start a background load of ``item``; returns True if issued.
+
+        Used both by the system prefetcher and for code prefetching,
+        where "the worker command itself is responsible to determine a
+        suitable code location and a useful time" (§4.2).
+        """
+        ident = self.resolver.resolve(item)
+        # Prefetch only opportunistically: skip when already cached or
+        # in flight, when this proxy's lookahead budget is in use, or
+        # when demand reads are already queueing at the fileserver — at
+        # saturation a speculative read cannot help (it only adds bytes
+        # to the binding resource), so it must not be issued at all.
+        if (
+            self.cache.holds(ident) is not None
+            or ident in self._inflight
+            or self._inflight_prefetches >= self.config.max_inflight_prefetches
+            or self.cluster.fileserver._wire.queue_len > 0
+        ):
+            self.stats.record_prefetch(ident, issued=False)
+            return False
+        done = self.env.event()
+        token = TransferToken(self.env)
+        self._inflight[ident] = done
+        self._inflight_tokens[ident] = token
+        self._inflight_prefetches += 1
+
+        def runner():
+            try:
+                yield from self._forced_load(
+                    item,
+                    ident,
+                    self.source.modeled_bytes(item),
+                    demand=False,
+                    token=token,
+                )
+            finally:
+                del self._inflight[ident]
+                del self._inflight_tokens[ident]
+                self._inflight_prefetches -= 1
+                done.succeed()
+
+        self.env.process(runner(), name=f"prefetch-{ident}")
+        self.stats.record_prefetch(ident, issued=True)
+        return True

@@ -1,0 +1,79 @@
+"""The central data manager server (scheduler-node component).
+
+"A centralized data server that resides at the scheduler node
+coordinates all proxies.  It maintains information about the proxies'
+local state and deals with data requests [...]  while the data manager
+server contains a name server handling unambiguous identifiers, proxies
+include a name resolver" (§4.1).
+
+The server also hosts the adaptive loading-strategy selector (§4.3) and
+the global holder registry that makes node-to-node transfers (the
+greedy cooperative cache) possible.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable
+
+from .items import ItemName, NameService
+from .loading import AdaptiveSelector, LoadContext
+from .stats import DMSStatistics
+
+__all__ = ["DataManagerServer"]
+
+
+class DataManagerServer:
+    """Central coordination state shared by all data proxies."""
+
+    def __init__(self, selector: AdaptiveSelector | None = None):
+        self.names = NameService()
+        self.selector = selector if selector is not None else AdaptiveSelector()
+        self._holders: dict[int, set[int]] = defaultdict(set)  # ident -> node ids
+        self._inflight_counts: dict[int, int] = defaultdict(int)
+        self.global_stats = DMSStatistics()
+        self.strategy_queries = 0
+        #: observed fileserver health in [0, 1]; failures decay it, and
+        #: the fitness functions then steer loads toward other sources
+        #: ("react on environment changes like ... file server
+        #: failures", §4.3).
+        self.fileserver_reliability = 1.0
+
+    # ---------------------------------------------------- health signals
+    def report_fileserver_failure(self) -> None:
+        self.fileserver_reliability = max(0.05, 0.5 * self.fileserver_reliability)
+
+    def report_fileserver_success(self) -> None:
+        self.fileserver_reliability = min(
+            1.0, self.fileserver_reliability + 0.1 * (1.0 - self.fileserver_reliability)
+        )
+
+    # ------------------------------------------------------- registry
+    def register_holder(self, ident: int, node: int) -> None:
+        self._holders[ident].add(node)
+
+    def unregister_holder(self, ident: int, node: int) -> None:
+        self._holders[ident].discard(node)
+        if not self._holders[ident]:
+            del self._holders[ident]
+
+    def holders(self, ident: int) -> frozenset[int]:
+        return frozenset(self._holders.get(ident, ()))
+
+    # ---------------------------------------------- concurrent requests
+    def note_request_start(self, ident: int) -> None:
+        self._inflight_counts[ident] += 1
+
+    def note_request_end(self, ident: int) -> None:
+        self._inflight_counts[ident] -= 1
+        if self._inflight_counts[ident] <= 0:
+            del self._inflight_counts[ident]
+
+    def concurrent_requesters(self, ident: int) -> int:
+        return max(1, self._inflight_counts.get(ident, 0))
+
+    # ---------------------------------------------------- strategy query
+    def choose_strategy(self, ctx: LoadContext):
+        """Pick a loading strategy for one forced load (counted per call)."""
+        self.strategy_queries += 1
+        return self.selector.select(ctx)

@@ -1,0 +1,236 @@
+"""Curvilinear structured grid blocks.
+
+The paper's datasets are *multi-block structured* CFD grids: each block
+is a logically Cartesian ``(ni, nj, nk)`` lattice of points with
+arbitrary physical coordinates (body-fitted, curvilinear).  Point-
+centered fields (velocity, pressure, ...) live on the same lattice.
+
+:class:`StructuredBlock` is the in-memory unit that all extraction
+algorithms operate on; it is also the unit of I/O, caching and
+prefetching in the DMS (the paper's "block").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["StructuredBlock", "BlockHandle"]
+
+
+class StructuredBlock:
+    """One curvilinear structured block with point-centered fields.
+
+    Parameters
+    ----------
+    coords:
+        Physical point coordinates, shape ``(ni, nj, nk, 3)``, float.
+    fields:
+        Mapping from field name to an array of shape ``(ni, nj, nk)``
+        (scalar) or ``(ni, nj, nk, 3)`` (vector).
+    block_id:
+        Index of the block within its dataset.
+    time_index:
+        Time level the block belongs to (``0`` for steady data).
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        fields: Mapping[str, np.ndarray] | None = None,
+        block_id: int = 0,
+        time_index: int = 0,
+    ):
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 4 or coords.shape[-1] != 3:
+            raise ValueError(
+                f"coords must have shape (ni, nj, nk, 3), got {coords.shape}"
+            )
+        if min(coords.shape[:3]) < 2:
+            raise ValueError(
+                f"each block dimension needs >= 2 points, got {coords.shape[:3]}"
+            )
+        if not np.isfinite(coords).all():
+            raise ValueError("coords contain non-finite values")
+        self.coords = coords
+        self.block_id = int(block_id)
+        self.time_index = int(time_index)
+        self.fields: dict[str, np.ndarray] = {}
+        for name, data in (fields or {}).items():
+            self.set_field(name, data)
+
+    # ------------------------------------------------------------- shape
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Point dimensions ``(ni, nj, nk)``."""
+        return self.coords.shape[:3]
+
+    @property
+    def cell_shape(self) -> tuple[int, int, int]:
+        ni, nj, nk = self.shape
+        return (ni - 1, nj - 1, nk - 1)
+
+    @property
+    def n_points(self) -> int:
+        ni, nj, nk = self.shape
+        return ni * nj * nk
+
+    @property
+    def n_cells(self) -> int:
+        ci, cj, ck = self.cell_shape
+        return ci * cj * ck
+
+    @property
+    def nbytes(self) -> int:
+        """Actual in-memory payload size of coordinates plus fields."""
+        return self.coords.nbytes + sum(f.nbytes for f in self.fields.values())
+
+    # ------------------------------------------------------------ fields
+    def set_field(self, name: str, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape[:3] != self.shape or data.ndim not in (3, 4):
+            raise ValueError(
+                f"field {name!r} shape {data.shape} incompatible with "
+                f"block shape {self.shape}"
+            )
+        if data.ndim == 4 and data.shape[-1] != 3:
+            raise ValueError(
+                f"vector field {name!r} must have 3 components, got {data.shape}"
+            )
+        self.fields[name] = data
+
+    def field(self, name: str) -> np.ndarray:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise KeyError(
+                f"block {self.block_id} has no field {name!r}; "
+                f"available: {sorted(self.fields)}"
+            ) from None
+
+    def has_field(self, name: str) -> bool:
+        return name in self.fields
+
+    def scalar_range(self, name: str) -> tuple[float, float]:
+        data = self.field(name)
+        if data.ndim != 3:
+            raise ValueError(f"field {name!r} is not a scalar")
+        return float(data.min()), float(data.max())
+
+    # ---------------------------------------------------------- geometry
+    def bounds(self) -> np.ndarray:
+        """Axis-aligned bounding box ``[[xmin,ymin,zmin],[xmax,ymax,zmax]]``."""
+        pts = self.coords.reshape(-1, 3)
+        return np.vstack([pts.min(axis=0), pts.max(axis=0)])
+
+    def center(self) -> np.ndarray:
+        b = self.bounds()
+        return 0.5 * (b[0] + b[1])
+
+    def cell_corner_points(self, i: int, j: int, k: int) -> np.ndarray:
+        """The 8 corner points of cell ``(i, j, k)`` in VTK hexahedron order.
+
+        Order: (i,j,k), (i+1,j,k), (i+1,j+1,k), (i,j+1,k), then the same
+        four at ``k+1``.
+        """
+        c = self.coords
+        return np.array(
+            [
+                c[i, j, k],
+                c[i + 1, j, k],
+                c[i + 1, j + 1, k],
+                c[i, j + 1, k],
+                c[i, j, k + 1],
+                c[i + 1, j, k + 1],
+                c[i + 1, j + 1, k + 1],
+                c[i, j + 1, k + 1],
+            ]
+        )
+
+    def cell_corner_values(self, name: str, i: int, j: int, k: int) -> np.ndarray:
+        """Scalar field values at the 8 corners of cell ``(i, j, k)``."""
+        f = self.field(name)
+        return np.array(
+            [
+                f[i, j, k],
+                f[i + 1, j, k],
+                f[i + 1, j + 1, k],
+                f[i, j + 1, k],
+                f[i, j, k + 1],
+                f[i + 1, j, k + 1],
+                f[i + 1, j + 1, k + 1],
+                f[i, j + 1, k + 1],
+            ]
+        )
+
+    def iter_cells(self) -> Iterator[tuple[int, int, int]]:
+        ci, cj, ck = self.cell_shape
+        for i in range(ci):
+            for j in range(cj):
+                for k in range(ck):
+                    yield (i, j, k)
+
+    # -------------------------------------------------------------- misc
+    def copy(self) -> "StructuredBlock":
+        return StructuredBlock(
+            self.coords.copy(),
+            {n: f.copy() for n, f in self.fields.items()},
+            block_id=self.block_id,
+            time_index=self.time_index,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StructuredBlock(id={self.block_id}, t={self.time_index}, "
+            f"shape={self.shape}, fields={sorted(self.fields)})"
+        )
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    """Lightweight reference to a block without its payload.
+
+    Datasets hand these out so that schedulers and the DMS can plan
+    (sort blocks front-to-back, estimate load cost, distribute work)
+    without touching the data.  ``modeled_shape`` is the full paper-scale
+    resolution used by the simulated runtime's cost model; ``shape`` is
+    the actual (laptop-scale) resolution of the arrays on disk.
+    """
+
+    dataset: str
+    block_id: int
+    time_index: int
+    shape: tuple[int, int, int]
+    modeled_shape: tuple[int, int, int]
+    bounds_min: tuple[float, float, float]
+    bounds_max: tuple[float, float, float]
+
+    @property
+    def n_points(self) -> int:
+        ni, nj, nk = self.shape
+        return ni * nj * nk
+
+    @property
+    def n_cells(self) -> int:
+        ni, nj, nk = self.shape
+        return (ni - 1) * (nj - 1) * (nk - 1)
+
+    @property
+    def modeled_points(self) -> int:
+        ni, nj, nk = self.modeled_shape
+        return ni * nj * nk
+
+    @property
+    def modeled_cells(self) -> int:
+        ni, nj, nk = self.modeled_shape
+        return (ni - 1) * (nj - 1) * (nk - 1)
+
+    @property
+    def scale_factor(self) -> float:
+        """Modeled-to-actual cell ratio, used to scale compute costs."""
+        return self.modeled_cells / max(self.n_cells, 1)
+
+    def center(self) -> np.ndarray:
+        return 0.5 * (np.asarray(self.bounds_min) + np.asarray(self.bounds_max))

@@ -1,0 +1,78 @@
+"""Multi-resolution representations for progressive computation.
+
+Progressive streaming (paper §5.3) extracts a coarse approximation from
+the lowest-resolution level first, then refines.  The hierarchy here is
+a subsampling pyramid: level ``l`` keeps every ``2^l``-th lattice point
+(always including the last one, so the block's physical extent is
+preserved at every level).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .block import StructuredBlock
+
+__all__ = ["coarsen_block", "MultiResPyramid"]
+
+
+def _stride_indices(n: int, stride: int) -> np.ndarray:
+    """Every ``stride``-th index in ``range(n)``, always including ``n-1``."""
+    idx = list(range(0, n, stride))
+    if idx[-1] != n - 1:
+        idx.append(n - 1)
+    return np.asarray(idx)
+
+
+def coarsen_block(block: StructuredBlock, stride: int = 2) -> StructuredBlock:
+    """Subsample a block's lattice by ``stride`` along every axis."""
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    ni, nj, nk = block.shape
+    ii = _stride_indices(ni, stride)
+    jj = _stride_indices(nj, stride)
+    kk = _stride_indices(nk, stride)
+    coords = block.coords[np.ix_(ii, jj, kk)]
+    fields = {name: data[np.ix_(ii, jj, kk)] for name, data in block.fields.items()}
+    return StructuredBlock(
+        coords, fields, block_id=block.block_id, time_index=block.time_index
+    )
+
+
+class MultiResPyramid:
+    """Subsampling pyramid over one block.
+
+    ``levels[0]`` is the coarsest approximation, ``levels[-1]`` the
+    original block — progressive algorithms walk the list front to back.
+    """
+
+    def __init__(self, block: StructuredBlock, min_dim: int = 3, max_levels: int = 8):
+        if max_levels < 1:
+            raise ValueError(f"max_levels must be >= 1, got {max_levels}")
+        levels = [block]
+        current = block
+        while len(levels) < max_levels:
+            if min((s + 1) // 2 for s in current.shape) < min_dim:
+                break
+            current = coarsen_block(current, stride=2)
+            if current.shape == levels[-1].shape:
+                break
+            levels.append(current)
+        levels.reverse()
+        self.levels: Sequence[StructuredBlock] = levels
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    @property
+    def coarsest(self) -> StructuredBlock:
+        return self.levels[0]
+
+    @property
+    def finest(self) -> StructuredBlock:
+        return self.levels[-1]
+
+    def cells_per_level(self) -> list[int]:
+        return [lvl.n_cells for lvl in self.levels]

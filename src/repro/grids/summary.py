@@ -1,0 +1,117 @@
+"""Dataset inspection summaries.
+
+Quick structural and statistical overviews of multi-block datasets —
+what an engineer prints before pointing extraction commands at new
+data: block dimensions, cell counts and volumes, per-field ranges, and
+interface conformity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .block import StructuredBlock
+from .geometry import cell_volumes
+from .multiblock import MultiBlockDataset
+from .topology import find_matched_faces
+
+__all__ = ["BlockSummary", "DatasetSummary", "summarize_block", "summarize_dataset"]
+
+
+@dataclass(frozen=True)
+class BlockSummary:
+    block_id: int
+    shape: tuple[int, int, int]
+    n_cells: int
+    volume: float
+    min_cell_volume: float
+    max_cell_volume: float
+    field_ranges: dict[str, tuple[float, float]]
+
+    @property
+    def aspect(self) -> float:
+        """Largest / smallest cell volume: mesh grading indicator."""
+        if self.min_cell_volume <= 0:
+            return float("inf")
+        return self.max_cell_volume / self.min_cell_volume
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    name: str
+    n_blocks: int
+    n_cells: int
+    n_points: int
+    bounds_min: tuple[float, float, float]
+    bounds_max: tuple[float, float, float]
+    total_volume: float
+    field_ranges: dict[str, tuple[float, float]]
+    matched_interfaces: int
+    blocks: list[BlockSummary] = field(default_factory=list)
+
+    def format(self, max_blocks: int = 8) -> str:
+        lines = [
+            f"dataset {self.name!r}: {self.n_blocks} blocks, "
+            f"{self.n_cells} cells, {self.n_points} points",
+            f"  bounds: {np.round(self.bounds_min, 3).tolist()} .. "
+            f"{np.round(self.bounds_max, 3).tolist()}",
+            f"  volume: {self.total_volume:.4g}; "
+            f"conforming interfaces: {self.matched_interfaces}",
+        ]
+        for name, (lo, hi) in sorted(self.field_ranges.items()):
+            lines.append(f"  field {name!r}: [{lo:.4g}, {hi:.4g}]")
+        for b in self.blocks[:max_blocks]:
+            lines.append(
+                f"  block {b.block_id:3d}: shape {b.shape}, {b.n_cells} cells, "
+                f"grading {b.aspect:.1f}x"
+            )
+        if len(self.blocks) > max_blocks:
+            lines.append(f"  ... ({len(self.blocks) - max_blocks} more blocks)")
+        return "\n".join(lines)
+
+
+def summarize_block(block: StructuredBlock) -> BlockSummary:
+    volumes = cell_volumes(block)
+    ranges = {}
+    for name, data in block.fields.items():
+        if data.ndim == 3:
+            ranges[name] = (float(data.min()), float(data.max()))
+        else:
+            mags = np.linalg.norm(data, axis=-1)
+            ranges[f"|{name}|"] = (float(mags.min()), float(mags.max()))
+    return BlockSummary(
+        block_id=block.block_id,
+        shape=block.shape,
+        n_cells=block.n_cells,
+        volume=float(volumes.sum()),
+        min_cell_volume=float(volumes.min()),
+        max_cell_volume=float(volumes.max()),
+        field_ranges=ranges,
+    )
+
+
+def summarize_dataset(dataset: MultiBlockDataset) -> DatasetSummary:
+    blocks = [summarize_block(b) for b in dataset]
+    bounds = dataset.bounds()
+    merged_ranges: dict[str, tuple[float, float]] = {}
+    for summary in blocks:
+        for name, (lo, hi) in summary.field_ranges.items():
+            cur = merged_ranges.get(name)
+            if cur is None:
+                merged_ranges[name] = (lo, hi)
+            else:
+                merged_ranges[name] = (min(cur[0], lo), max(cur[1], hi))
+    return DatasetSummary(
+        name=dataset.name,
+        n_blocks=len(dataset),
+        n_cells=dataset.n_cells,
+        n_points=dataset.n_points,
+        bounds_min=tuple(bounds[0]),
+        bounds_max=tuple(bounds[1]),
+        total_volume=float(sum(b.volume for b in blocks)),
+        field_ranges=merged_ranges,
+        matched_interfaces=len(find_matched_faces(list(dataset))),
+        blocks=blocks,
+    )

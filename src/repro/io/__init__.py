@@ -1,0 +1,39 @@
+"""Binary block format and on-disk dataset stores."""
+
+from .format import (
+    FormatError,
+    block_from_bytes,
+    block_to_bytes,
+    read_block,
+    write_block,
+)
+from .dataset_io import DatasetStore, block_filename, write_dataset
+from .outofcore import BoundedBlockReader, isosurface_out_of_core, iter_blocks
+from .geometry_io import (
+    geometry_from_bytes,
+    geometry_to_bytes,
+    load_geometry,
+    read_geometry,
+    save_geometry,
+    write_geometry,
+)
+
+__all__ = [
+    "FormatError",
+    "block_from_bytes",
+    "block_to_bytes",
+    "read_block",
+    "write_block",
+    "DatasetStore",
+    "block_filename",
+    "write_dataset",
+    "BoundedBlockReader",
+    "isosurface_out_of_core",
+    "iter_blocks",
+    "geometry_from_bytes",
+    "geometry_to_bytes",
+    "load_geometry",
+    "read_geometry",
+    "save_geometry",
+    "write_geometry",
+]

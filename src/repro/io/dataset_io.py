@@ -1,0 +1,152 @@
+"""On-disk multi-block dataset store.
+
+Directory layout (one file per block per time level, mirroring the
+paper's observation that "the source of a data item can be a single
+file, a part of a file, or even a combination of files")::
+
+    <root>/
+      meta.json
+      t0000_b0000.blk
+      t0000_b0001.blk
+      ...
+
+The store is the ground truth the DMS loads from; its ``meta.json``
+carries both actual and modeled shapes so handles can be reconstructed
+without opening block files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..grids.block import BlockHandle, StructuredBlock
+from ..grids.multiblock import MultiBlockDataset, TimeSeries
+from .format import FormatError, read_block, write_block
+
+__all__ = ["DatasetStore", "write_dataset", "block_filename"]
+
+
+def block_filename(time_index: int, block_id: int) -> str:
+    return f"t{time_index:04d}_b{block_id:04d}.blk"
+
+
+def write_dataset(
+    root: str | Path,
+    levels: Sequence[MultiBlockDataset],
+    name: str | None = None,
+    modeled_shapes: Sequence[tuple[int, int, int]] | None = None,
+    times: Sequence[float] | None = None,
+) -> "DatasetStore":
+    """Write time levels to ``root`` and return the opened store."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    if not levels:
+        raise ValueError("need at least one time level")
+    n_blocks = len(levels[0])
+    for t, level in enumerate(levels):
+        if len(level) != n_blocks:
+            raise ValueError(
+                f"time level {t} has {len(level)} blocks, expected {n_blocks}"
+            )
+        for block in level:
+            with open(root / block_filename(t, block.block_id), "wb") as fh:
+                write_block(fh, block)
+    first = levels[0]
+    handles = first.handles(modeled_shapes=modeled_shapes)
+    meta = {
+        "name": name or first.name,
+        "n_timesteps": len(levels),
+        "n_blocks": n_blocks,
+        "times": list(times) if times is not None else [lvl.time for lvl in levels],
+        "fields": first.field_names(),
+        "blocks": [
+            {
+                "block_id": h.block_id,
+                "shape": list(h.shape),
+                "modeled_shape": list(h.modeled_shape),
+                "bounds_min": list(h.bounds_min),
+                "bounds_max": list(h.bounds_max),
+            }
+            for h in handles
+        ],
+    }
+    (root / "meta.json").write_text(json.dumps(meta, indent=2))
+    return DatasetStore(root)
+
+
+class DatasetStore:
+    """Read access to an on-disk multi-block time series."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        meta_path = self.root / "meta.json"
+        if not meta_path.exists():
+            raise FileNotFoundError(f"no dataset at {self.root} (missing meta.json)")
+        self.meta = json.loads(meta_path.read_text())
+        for key in ("name", "n_timesteps", "n_blocks", "blocks"):
+            if key not in self.meta:
+                raise FormatError(f"meta.json missing key {key!r}")
+
+    @property
+    def name(self) -> str:
+        return self.meta["name"]
+
+    @property
+    def n_timesteps(self) -> int:
+        return self.meta["n_timesteps"]
+
+    @property
+    def n_blocks(self) -> int:
+        return self.meta["n_blocks"]
+
+    @property
+    def times(self) -> list[float]:
+        return list(self.meta["times"])
+
+    def block_path(self, time_index: int, block_id: int) -> Path:
+        self._check_indices(time_index, block_id)
+        return self.root / block_filename(time_index, block_id)
+
+    def _check_indices(self, time_index: int, block_id: int) -> None:
+        if not 0 <= time_index < self.n_timesteps:
+            raise IndexError(
+                f"time index {time_index} out of range 0..{self.n_timesteps - 1}"
+            )
+        if not 0 <= block_id < self.n_blocks:
+            raise IndexError(f"block id {block_id} out of range 0..{self.n_blocks - 1}")
+
+    def read_block(self, time_index: int, block_id: int) -> StructuredBlock:
+        path = self.block_path(time_index, block_id)
+        with open(path, "rb") as fh:
+            return read_block(fh)
+
+    def read_level(self, time_index: int) -> MultiBlockDataset:
+        blocks = [self.read_block(time_index, b) for b in range(self.n_blocks)]
+        time = self.times[time_index] if self.times else float(time_index)
+        return MultiBlockDataset(blocks, name=self.name, time=time)
+
+    def timeseries(self) -> TimeSeries:
+        return TimeSeries(self.times, self.read_level, name=self.name)
+
+    def handles(self, time_index: int = 0) -> list[BlockHandle]:
+        self._check_indices(time_index, 0)
+        return [
+            BlockHandle(
+                dataset=self.name,
+                block_id=rec["block_id"],
+                time_index=time_index,
+                shape=tuple(rec["shape"]),
+                modeled_shape=tuple(rec["modeled_shape"]),
+                bounds_min=tuple(rec["bounds_min"]),
+                bounds_max=tuple(rec["bounds_max"]),
+            )
+            for rec in self.meta["blocks"]
+        ]
+
+    def file_bytes(self, time_index: int, block_id: int) -> int:
+        """Actual on-disk size of one block file."""
+        return self.block_path(time_index, block_id).stat().st_size

@@ -1,0 +1,115 @@
+"""Binary block-file format.
+
+A PLOT3D-like single-block container: a fixed header, a field directory
+and raw little-endian arrays.  Coordinates are stored as float64 (grid
+fidelity matters for Newton point location), fields as float32 (the
+usual precision of exported CFD solutions, and what the paper-scale
+size accounting assumes).
+
+Layout::
+
+    magic    4s   b"VIRB"
+    version  u32  1
+    block_id u32
+    time     u32
+    ni nj nk u32 x3
+    nfields  u32
+    -- per field --
+    name_len u32, name utf-8, ncomp u32
+    -- payloads --
+    coords float64[ni*nj*nk*3]
+    each field float32[ni*nj*nk*ncomp]
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO
+
+import numpy as np
+
+from ..grids.block import StructuredBlock
+
+__all__ = ["FormatError", "write_block", "read_block", "block_to_bytes", "block_from_bytes"]
+
+MAGIC = b"VIRB"
+VERSION = 1
+_HEADER = struct.Struct("<4sIIIIIII")
+
+
+class FormatError(ValueError):
+    """Raised for malformed or truncated block files."""
+
+
+def write_block(fh: BinaryIO, block: StructuredBlock) -> int:
+    """Serialize ``block``; returns the number of bytes written."""
+    ni, nj, nk = block.shape
+    names = sorted(block.fields)
+    written = 0
+    written += fh.write(
+        _HEADER.pack(
+            MAGIC, VERSION, block.block_id, block.time_index, ni, nj, nk, len(names)
+        )
+    )
+    for name in names:
+        raw = name.encode("utf-8")
+        data = block.fields[name]
+        ncomp = 1 if data.ndim == 3 else data.shape[-1]
+        written += fh.write(struct.pack("<I", len(raw)))
+        written += fh.write(raw)
+        written += fh.write(struct.pack("<I", ncomp))
+    written += fh.write(np.ascontiguousarray(block.coords, dtype="<f8").tobytes())
+    for name in names:
+        written += fh.write(
+            np.ascontiguousarray(block.fields[name], dtype="<f4").tobytes()
+        )
+    return written
+
+
+def _read_exact(fh: BinaryIO, n: int) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise FormatError(f"truncated block file: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+def read_block(fh: BinaryIO) -> StructuredBlock:
+    """Deserialize one block from a binary stream."""
+    magic, version, block_id, time_index, ni, nj, nk, nfields = _HEADER.unpack(
+        _read_exact(fh, _HEADER.size)
+    )
+    if magic != MAGIC:
+        raise FormatError(f"bad magic {magic!r}, not a block file")
+    if version != VERSION:
+        raise FormatError(f"unsupported version {version}")
+    specs: list[tuple[str, int]] = []
+    for _ in range(nfields):
+        (name_len,) = struct.unpack("<I", _read_exact(fh, 4))
+        name = _read_exact(fh, name_len).decode("utf-8")
+        (ncomp,) = struct.unpack("<I", _read_exact(fh, 4))
+        if ncomp not in (1, 3):
+            raise FormatError(f"field {name!r} has unsupported ncomp {ncomp}")
+        specs.append((name, ncomp))
+    npts = ni * nj * nk
+    coords = np.frombuffer(_read_exact(fh, npts * 3 * 8), dtype="<f8").reshape(
+        ni, nj, nk, 3
+    )
+    fields = {}
+    for name, ncomp in specs:
+        flat = np.frombuffer(_read_exact(fh, npts * ncomp * 4), dtype="<f4")
+        shape = (ni, nj, nk) if ncomp == 1 else (ni, nj, nk, 3)
+        fields[name] = flat.astype(np.float64).reshape(shape)
+    return StructuredBlock(
+        coords.astype(np.float64), fields, block_id=block_id, time_index=time_index
+    )
+
+
+def block_to_bytes(block: StructuredBlock) -> bytes:
+    buf = io.BytesIO()
+    write_block(buf, block)
+    return buf.getvalue()
+
+
+def block_from_bytes(data: bytes) -> StructuredBlock:
+    return read_block(io.BytesIO(data))

@@ -1,0 +1,21 @@
+"""Client-side geometry and the visualization-client model."""
+
+from .mesh import TriangleMesh
+from .polyline import PolylineSet
+from .ascii import render_ascii
+from .client import (
+    FrameRateModel,
+    InteractionCriteria,
+    PacketRecord,
+    VisualizationClient,
+)
+
+__all__ = [
+    "render_ascii",
+    "TriangleMesh",
+    "PolylineSet",
+    "FrameRateModel",
+    "InteractionCriteria",
+    "PacketRecord",
+    "VisualizationClient",
+]

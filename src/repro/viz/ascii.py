@@ -1,0 +1,71 @@
+"""Terminal rendering of extracted geometry.
+
+A minimal stand-in for the paper's Figures 4/5 screenshots: orthographic
+projection of a triangle mesh (or polyline set) onto a coordinate plane,
+rasterized as a character-density image.  Useful for eyeballing results
+in examples and headless environments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mesh import TriangleMesh
+from .polyline import PolylineSet
+
+__all__ = ["render_ascii"]
+
+_AXES = {"xy": (0, 1), "xz": (0, 2), "yz": (1, 2)}
+_RAMP = " .:-=+*#%@"
+
+
+def render_ascii(
+    geometry: TriangleMesh | PolylineSet,
+    plane: str = "xy",
+    width: int = 60,
+    height: int = 24,
+    bounds: np.ndarray | None = None,
+) -> str:
+    """Project ``geometry`` onto ``plane`` and render a density image.
+
+    ``bounds`` (``[[min],[max]]`` in 3-D) fixes the frame; by default the
+    geometry's own bounds are used.  Empty geometry renders as an empty
+    frame.
+    """
+    try:
+        ax, ay = _AXES[plane]
+    except KeyError:
+        raise ValueError(f"plane must be one of {sorted(_AXES)}, got {plane!r}") from None
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+
+    if isinstance(geometry, TriangleMesh):
+        points = geometry.triangles.mean(axis=1) if not geometry.is_empty() else None
+    elif isinstance(geometry, PolylineSet):
+        points = geometry.vertices if not geometry.is_empty() else None
+    else:
+        raise TypeError(f"cannot render {type(geometry).__name__}")
+
+    grid = np.zeros((height, width))
+    if points is not None:
+        if bounds is None:
+            geo_bounds = geometry.bounds()
+            lo, hi = geo_bounds[0], geo_bounds[1]
+        else:
+            bounds = np.asarray(bounds, dtype=float)
+            lo, hi = bounds[0], bounds[1]
+        span_x = max(hi[ax] - lo[ax], 1e-12)
+        span_y = max(hi[ay] - lo[ay], 1e-12)
+        u = np.clip(((points[:, ax] - lo[ax]) / span_x * (width - 1)), 0, width - 1)
+        v = np.clip(((points[:, ay] - lo[ay]) / span_y * (height - 1)), 0, height - 1)
+        np.add.at(grid, (v.astype(int), u.astype(int)), 1.0)
+    peak = grid.max()
+    if peak > 0:
+        levels = (grid / peak * (len(_RAMP) - 1)).astype(int)
+    else:
+        levels = grid.astype(int)
+    rows = ["".join(_RAMP[levels[r, c]] for c in range(width)) for r in range(height)]
+    # Image row 0 is the minimum of the vertical axis; print top-down.
+    rows.reverse()
+    frame = "+" + "-" * width + "+"
+    return "\n".join([frame, *(f"|{row}|" for row in rows), frame])

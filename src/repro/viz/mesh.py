@@ -1,0 +1,164 @@
+"""Triangle meshes — the geometry streamed back to the client.
+
+A :class:`TriangleMesh` is triangle soup: ``vertices`` has shape
+``(3 * n_triangles, 3)`` with consecutive vertex triples forming
+triangles, plus optional per-vertex scalar attributes.  Soup (rather
+than an indexed mesh) matches what block-wise streamed extraction
+produces: fragments arrive independently and are concatenated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["TriangleMesh"]
+
+
+class TriangleMesh:
+    """Immutable-ish triangle soup with optional vertex attributes."""
+
+    def __init__(
+        self,
+        vertices: np.ndarray | None = None,
+        attributes: Mapping[str, np.ndarray] | None = None,
+    ):
+        if vertices is None:
+            vertices = np.empty((0, 3), dtype=np.float64)
+        vertices = np.asarray(vertices, dtype=np.float64)
+        if vertices.ndim != 2 or vertices.shape[1] != 3:
+            raise ValueError(f"vertices must have shape (3n, 3), got {vertices.shape}")
+        if len(vertices) % 3 != 0:
+            raise ValueError(
+                f"vertex count {len(vertices)} is not a multiple of 3"
+            )
+        self.vertices = vertices
+        self.attributes: dict[str, np.ndarray] = {}
+        for name, data in (attributes or {}).items():
+            data = np.asarray(data, dtype=np.float64)
+            if data.shape[0] != len(vertices):
+                raise ValueError(
+                    f"attribute {name!r} has {data.shape[0]} values for "
+                    f"{len(vertices)} vertices"
+                )
+            self.attributes[name] = data
+
+    # ------------------------------------------------------------ shape
+    @property
+    def n_triangles(self) -> int:
+        return len(self.vertices) // 3
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def triangles(self) -> np.ndarray:
+        """View of shape ``(n_triangles, 3, 3)``."""
+        return self.vertices.reshape(-1, 3, 3)
+
+    @property
+    def nbytes(self) -> int:
+        return self.vertices.nbytes + sum(a.nbytes for a in self.attributes.values())
+
+    def is_empty(self) -> bool:
+        return self.n_triangles == 0
+
+    # --------------------------------------------------------- geometry
+    def areas(self) -> np.ndarray:
+        """Per-triangle areas."""
+        t = self.triangles
+        return 0.5 * np.linalg.norm(
+            np.cross(t[:, 1] - t[:, 0], t[:, 2] - t[:, 0]), axis=1
+        )
+
+    def area(self) -> float:
+        return float(self.areas().sum())
+
+    def normals(self) -> np.ndarray:
+        """Per-triangle unit normals (zero for degenerate triangles)."""
+        t = self.triangles
+        n = np.cross(t[:, 1] - t[:, 0], t[:, 2] - t[:, 0])
+        norms = np.linalg.norm(n, axis=1, keepdims=True)
+        return np.divide(n, norms, out=np.zeros_like(n), where=norms > 0)
+
+    def bounds(self) -> np.ndarray | None:
+        if self.is_empty():
+            return None
+        return np.vstack([self.vertices.min(axis=0), self.vertices.max(axis=0)])
+
+    def drop_degenerate(self, min_area: float = 1e-14) -> "TriangleMesh":
+        """Remove zero-area triangles (tet faces grazing the isovalue)."""
+        keep = self.areas() > min_area
+        mask = np.repeat(keep, 3)
+        return TriangleMesh(
+            self.vertices[mask],
+            {n: a[mask] for n, a in self.attributes.items()},
+        )
+
+    # --------------------------------------------------------- topology
+    def indexed(self, decimals: int = 9) -> tuple[np.ndarray, np.ndarray]:
+        """Weld duplicate vertices: returns ``(points, faces)``.
+
+        ``points`` is ``(m, 3)`` unique vertices, ``faces`` is
+        ``(n_triangles, 3)`` indices into it.  Welding keys on rounded
+        coordinates, which is exact for our extraction (shared cut
+        points are computed from identical inputs).
+        """
+        if self.is_empty():
+            return np.empty((0, 3)), np.empty((0, 3), dtype=np.int64)
+        rounded = np.round(self.vertices, decimals)
+        points, inverse = np.unique(rounded, axis=0, return_inverse=True)
+        faces = inverse.reshape(-1, 3)
+        return points, faces
+
+    def edge_statistics(self, decimals: int = 9) -> dict[str, int]:
+        """Edge-manifoldness census of the welded mesh.
+
+        A closed (watertight) surface has every edge shared by exactly
+        two triangles: ``boundary == 0`` and ``nonmanifold == 0``.
+        Streamed fragments legitimately have boundary edges; the *merged*
+        surface of a closed feature must not.
+        """
+        _points, faces = self.indexed(decimals)
+        if len(faces) == 0:
+            return {"edges": 0, "interior": 0, "boundary": 0, "nonmanifold": 0}
+        edges = np.concatenate(
+            [faces[:, [0, 1]], faces[:, [1, 2]], faces[:, [2, 0]]]
+        )
+        edges.sort(axis=1)
+        _unique, counts = np.unique(edges, axis=0, return_counts=True)
+        return {
+            "edges": int(len(counts)),
+            "interior": int(np.sum(counts == 2)),
+            "boundary": int(np.sum(counts == 1)),
+            "nonmanifold": int(np.sum(counts > 2)),
+        }
+
+    def is_closed(self, decimals: int = 9) -> bool:
+        """True when every edge is shared by exactly two triangles."""
+        stats = self.edge_statistics(decimals)
+        return stats["edges"] > 0 and stats["boundary"] == 0 and stats["nonmanifold"] == 0
+
+    # ------------------------------------------------------------ merge
+    @staticmethod
+    def merge(meshes: Iterable["TriangleMesh"]) -> "TriangleMesh":
+        """Concatenate fragments (the master worker's / client's job)."""
+        meshes = [m for m in meshes if m is not None]
+        if not meshes:
+            return TriangleMesh()
+        non_empty = [m for m in meshes if not m.is_empty()]
+        if not non_empty:
+            return TriangleMesh()
+        vertices = np.concatenate([m.vertices for m in non_empty])
+        names = set(non_empty[0].attributes)
+        for m in non_empty[1:]:
+            names &= set(m.attributes)
+        attributes = {
+            n: np.concatenate([m.attributes[n] for m in non_empty]) for n in names
+        }
+        return TriangleMesh(vertices, attributes)
+
+    def __repr__(self) -> str:
+        return f"TriangleMesh(n_triangles={self.n_triangles}, attrs={sorted(self.attributes)})"

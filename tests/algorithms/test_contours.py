@@ -1,0 +1,101 @@
+"""Tests for contour-line extraction."""
+
+import numpy as np
+import pytest
+
+from repro import build_engine
+from repro.algorithms.contours import contour_lines, cutplane_contours
+from repro.grids import StructuredBlock
+from repro.synth import cartesian_lattice
+from repro.viz import PolylineSet, TriangleMesh
+
+
+def planar_mesh_with_field(n=8):
+    """A flat triangulated square in z=0 carrying f = x."""
+    xs = np.linspace(0.0, 1.0, n)
+    verts, vals = [], []
+    for i in range(n - 1):
+        for j in range(n - 1):
+            quad = [
+                (xs[i], xs[j]), (xs[i + 1], xs[j]), (xs[i + 1], xs[j + 1]),
+                (xs[i], xs[j]), (xs[i + 1], xs[j + 1]), (xs[i], xs[j + 1]),
+            ]
+            for x, y in quad:
+                verts.append((x, y, 0.0))
+                vals.append(x)
+    return TriangleMesh(np.asarray(verts), {"f": np.asarray(vals)})
+
+
+def test_contour_of_linear_field_is_straight_line():
+    mesh = planar_mesh_with_field()
+    lines = contour_lines(mesh, "f", 0.4)
+    assert not lines.is_empty()
+    # Every contour point sits on x = 0.4.
+    np.testing.assert_allclose(lines.vertices[:, 0], 0.4, atol=1e-12)
+    # The segments jointly span the square's full y extent.
+    assert lines.vertices[:, 1].min() == pytest.approx(0.0, abs=1e-9)
+    assert lines.vertices[:, 1].max() == pytest.approx(1.0, abs=1e-9)
+    # Total contour length equals the square's side.
+    assert lines.lengths().sum() == pytest.approx(1.0, rel=1e-9)
+
+
+def test_contour_value_attribute_attached():
+    lines = contour_lines(planar_mesh_with_field(), "f", 0.25)
+    np.testing.assert_allclose(lines.attributes["f"], 0.25)
+
+
+def test_contour_outside_range_is_empty():
+    mesh = planar_mesh_with_field()
+    assert contour_lines(mesh, "f", 5.0).is_empty()
+    assert contour_lines(mesh, "f", -1.0).is_empty()
+
+
+def test_contour_missing_attribute_raises():
+    with pytest.raises(KeyError, match="no attribute"):
+        contour_lines(planar_mesh_with_field(), "nope", 0.5)
+
+
+def test_contour_empty_mesh():
+    empty = TriangleMesh()
+    empty.attributes["f"] = np.empty(0)
+    assert contour_lines(empty, "f", 0.0).is_empty()
+
+
+def test_cutplane_contours_on_engine():
+    level = build_engine(base_resolution=6, n_timesteps=1).level(0)
+    lo, hi = level.scalar_range("pressure")
+    values = [lo + 0.3 * (hi - lo), lo + 0.6 * (hi - lo)]
+    lines = cutplane_contours(
+        level, np.array([0.0, 0.0, 1.0]), 0.8, "pressure", values
+    )
+    assert not lines.is_empty()
+    # Contours live in the cut plane.
+    np.testing.assert_allclose(lines.vertices[:, 2], 0.8, atol=1e-9)
+    # Each vertex's tagged level is one of the requested values.
+    tagged = set(np.round(lines.attributes["pressure"], 9).tolist())
+    assert tagged <= {round(v, 9) for v in values}
+
+
+def test_cutplane_contours_plane_outside_domain():
+    level = build_engine(base_resolution=4, n_timesteps=1).level(0)
+    lines = cutplane_contours(
+        level, np.array([0.0, 0.0, 1.0]), 99.0, "pressure", [0.0]
+    )
+    assert lines.is_empty()
+
+
+def test_contour_on_sphere_isosurface():
+    """Level lines of z on the iso-sphere are circles of known radius."""
+    from repro.algorithms import extract_block_isosurface
+
+    b = StructuredBlock(cartesian_lattice((-1, -1, -1), (1, 1, 1), (21, 21, 21)))
+    b.set_field("r", np.linalg.norm(b.coords, axis=-1))
+    b.set_field("z", b.coords[..., 2])
+    mesh = extract_block_isosurface(b, "r", 0.6, attributes=["z"])
+    lines = contour_lines(mesh, "z", 0.3)
+    assert not lines.is_empty()
+    radii = np.linalg.norm(lines.vertices[:, :2], axis=1)
+    expected = np.sqrt(0.6**2 - 0.3**2)
+    np.testing.assert_allclose(radii, expected, atol=0.03)
+    # The circle's circumference, approximately.
+    assert lines.lengths().sum() == pytest.approx(2 * np.pi * expected, rel=0.05)

@@ -1,0 +1,109 @@
+"""Tests for vorticity / Q-criterion / helicity / enstrophy fields."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.criteria import (
+    enstrophy_field,
+    extract_q_vortices,
+    helicity_field,
+    q_criterion_field,
+    q_criterion_points,
+    vorticity_field,
+    vorticity_magnitude_field,
+)
+from repro.algorithms import lambda2_field
+from repro.grids import MultiBlockDataset, StructuredBlock
+from repro.synth import cartesian_lattice
+
+
+def rotation_block(omega=2.0, shape=(11, 11, 11)):
+    b = StructuredBlock(cartesian_lattice((-1, -1, -1), (1, 1, 1), shape))
+    x, y = b.coords[..., 0], b.coords[..., 1]
+    b.set_field(
+        "velocity",
+        np.stack([-omega * y, omega * x, np.zeros_like(x)], axis=-1),
+    )
+    return b
+
+
+def shear_block(rate=2.0, shape=(9, 9, 9)):
+    b = StructuredBlock(cartesian_lattice((-1, -1, -1), (1, 1, 1), shape))
+    u = np.zeros(b.shape + (3,))
+    u[..., 0] = rate * b.coords[..., 1]
+    b.set_field("velocity", u)
+    return b
+
+
+def test_vorticity_of_solid_body_rotation():
+    """ω = 2Ω ẑ for rotation at rate Ω about z."""
+    b = rotation_block(omega=2.0)
+    w = vorticity_field(b)
+    np.testing.assert_allclose(w[..., 2], 4.0, atol=1e-9)
+    np.testing.assert_allclose(w[..., :2], 0.0, atol=1e-9)
+    np.testing.assert_allclose(vorticity_magnitude_field(b), 4.0, atol=1e-9)
+
+
+def test_q_criterion_analytic_values():
+    # Pure rotation: S = 0, Q = ½‖Ω‖² > 0.
+    w_rot = np.array([[0.0, -2.0, 0], [2.0, 0, 0], [0, 0, 0]])
+    assert q_criterion_points(w_rot) == pytest.approx(4.0)
+    # Pure shear: ‖Ω‖² == ‖S‖², Q = 0.
+    g_shear = np.array([[0.0, 2.0, 0], [0, 0, 0], [0, 0, 0]])
+    assert q_criterion_points(g_shear) == pytest.approx(0.0, abs=1e-12)
+    # Pure strain: Ω = 0, Q < 0.
+    g_strain = np.diag([1.0, -1.0, 0.0])
+    assert q_criterion_points(g_strain) < 0
+
+
+def test_q_field_positive_in_rotation_zero_in_shear():
+    q_rot = q_criterion_field(rotation_block())
+    assert q_rot.min() > 0
+    q_sh = q_criterion_field(shear_block())
+    np.testing.assert_allclose(q_sh, 0.0, atol=1e-9)
+
+
+def test_q_and_lambda2_agree_on_vortex_presence():
+    """For the rotating core both criteria flag a vortex (Q>0, λ2<0)."""
+    b = rotation_block()
+    assert q_criterion_field(b).min() > 0
+    assert lambda2_field(b).max() < 0
+
+
+def test_helicity_zero_for_planar_rotation():
+    """Planar rotation: u ⟂ ω, so helicity vanishes."""
+    h = helicity_field(rotation_block())
+    np.testing.assert_allclose(h, 0.0, atol=1e-9)
+
+
+def test_helicity_nonzero_for_helical_flow():
+    b = rotation_block()
+    u = b.field("velocity").copy()
+    u[..., 2] = 1.0  # add axial transport along the vortex axis
+    b.set_field("velocity", u)
+    h = helicity_field(b)
+    np.testing.assert_allclose(h, 4.0, atol=1e-9)  # u_z * ω_z = 1 * 4
+
+
+def test_enstrophy_matches_vorticity():
+    b = rotation_block()
+    np.testing.assert_allclose(enstrophy_field(b), 0.5 * 16.0, atol=1e-9)
+
+
+def test_extract_q_vortices_gaussian_core():
+    coords = cartesian_lattice((-2, -2, -1), (2, 2, 1), (21, 21, 5))
+    b = StructuredBlock(coords)
+    x, y = b.coords[..., 0], b.coords[..., 1]
+    rate = np.exp(-(x * x + y * y))
+    b.set_field(
+        "velocity", np.stack([-rate * y, rate * x, np.zeros_like(x)], axis=-1)
+    )
+    mesh = extract_q_vortices(MultiBlockDataset([b]), threshold=0.05)
+    assert mesh.n_triangles > 0
+    radii = np.linalg.norm(mesh.vertices[:, :2], axis=1)
+    assert radii.max() < 2.0
+
+
+def test_extract_q_vortices_empty_in_shear():
+    mesh = extract_q_vortices(MultiBlockDataset([shear_block()]), threshold=0.05)
+    assert mesh.is_empty()

@@ -1,0 +1,73 @@
+"""Tests for streakline integration."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import trace_streakline
+from repro.algorithms.streaklines import StreaklineTracer
+from tests.algorithms.test_pathlines import (
+    rotation,
+    series_for,
+    uniform,
+    velocity_dataset,
+)
+
+
+def test_streakline_in_uniform_flow_is_straight_segment():
+    """Particles released at different times line up along the flow."""
+    series = series_for(uniform, [0.0, 4.0])
+    sk = trace_streakline(
+        series, np.array([-1.5, 0.0, 0.0]), t_start=0.0, t_observe=2.0, n_particles=8
+    )
+    assert sk.n_particles == 8
+    assert sk.n_released == 8
+    # Release at tau -> position x0 + (T - tau): later releases sit
+    # closer to the seed.
+    expected_x = -1.5 + (2.0 - sk.release_times)
+    np.testing.assert_allclose(sk.points[:, 0], expected_x, atol=1e-5)
+    np.testing.assert_allclose(sk.points[:, 1:], 0.0, atol=1e-9)
+    # The filament spans from the earliest release's position to the
+    # latest's: length = span of release times (unit speed).
+    assert sk.length() == pytest.approx(
+        sk.release_times[-1] - sk.release_times[0], rel=1e-6
+    )
+
+
+def test_streakline_steady_flow_lies_on_streamline():
+    """In steady flow, streaklines coincide with the streamline path."""
+    series = series_for(rotation, [0.0, 10.0])
+    sk = trace_streakline(
+        series, np.array([0.8, 0.0, 0.0]), t_start=0.0, t_observe=2.0, n_particles=10
+    )
+    radii = np.linalg.norm(sk.points[:, :2], axis=1)
+    np.testing.assert_allclose(radii, 0.8, atol=5e-3)
+
+
+def test_streakline_drops_escaped_particles():
+    series = series_for(uniform, [0.0, 10.0])
+    # Early releases exit the domain (x > 2) before observation.
+    sk = trace_streakline(
+        series, np.array([0.0, 0.0, 0.0]), t_start=0.0, t_observe=6.0, n_particles=6
+    )
+    assert sk.n_released == 6
+    assert sk.n_particles < 6
+    assert np.all(sk.points[:, 0] <= 2.0 + 1e-9)
+
+
+def test_streakline_validation():
+    level = velocity_dataset(uniform, 0.0)
+    tracer = StreaklineTracer(level.handles(), [0.0, 1.0])
+    with pytest.raises(ValueError):
+        next(tracer.trace(np.zeros(3), n_particles=0))
+    with pytest.raises(ValueError):
+        next(tracer.trace(np.zeros(3), t_start=1.0, t_observe=0.5))
+
+
+def test_streakline_empty_when_all_escape():
+    series = series_for(uniform, [0.0, 100.0])
+    sk = trace_streakline(
+        series, np.array([1.9, 0.0, 0.0]), t_start=0.0, t_observe=50.0, n_particles=4
+    )
+    assert sk.n_particles == 0
+    assert sk.points.shape == (0, 3)
+    assert sk.length() == 0.0

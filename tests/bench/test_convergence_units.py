@@ -1,0 +1,51 @@
+"""Unit tests for the convergence-study helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.convergence import (
+    isosurface_area_convergence,
+    lambda2_convergence,
+    observed_orders,
+    pathline_tolerance_study,
+)
+
+
+def test_observed_orders_exact_second_order():
+    hs = [0.4, 0.2, 0.1]
+    errors = [0.16, 0.04, 0.01]  # e ~ h^2
+    orders = observed_orders(hs, errors)
+    assert orders == pytest.approx([2.0, 2.0])
+
+
+def test_observed_orders_first_order():
+    hs = [0.4, 0.2]
+    errors = [0.4, 0.2]
+    assert observed_orders(hs, errors) == pytest.approx([1.0])
+
+
+def test_observed_orders_zero_error_is_inf():
+    assert observed_orders([0.2, 0.1], [0.1, 0.0]) == [float("inf")]
+
+
+def test_observed_orders_empty():
+    assert observed_orders([0.1], [0.5]) == []
+
+
+def test_isosurface_convergence_small_ladder():
+    result = isosurface_area_convergence(resolutions=(9, 17))
+    assert len(result.rows) == 2
+    assert result.rows[1]["rel_error"] < result.rows[0]["rel_error"]
+    assert np.isnan(result.rows[0]["observed_order"])
+
+
+def test_lambda2_convergence_small_ladder():
+    result = lambda2_convergence(resolutions=(9, 17))
+    assert result.rows[1]["rms_interior_error"] < result.rows[0]["rms_interior_error"]
+    assert 1.2 < result.rows[1]["observed_order"] < 3.0
+
+
+def test_pathline_tolerance_small_ladder():
+    result = pathline_tolerance_study(rtols=(1e-2, 1e-5))
+    assert result.rows[1]["closure_error"] < result.rows[0]["closure_error"]
+    assert result.rows[1]["n_points"] > result.rows[0]["n_points"]

@@ -1,0 +1,65 @@
+"""Tests for the generic sweep harness."""
+
+import pytest
+
+from repro import build_engine
+from repro.bench.sweeps import DEFAULT_METRICS, Sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return Sweep(
+        dataset=build_engine(base_resolution=4, n_timesteps=2),
+        command="iso-dataman",
+        base_params={"scalar": "pressure", "time_range": (0, 1)},
+    )
+
+
+def test_sweep_rows_cover_grid(sweep):
+    result = sweep.run(workers=(1, 2), grid={"isovalue": [-0.3, -0.6]})
+    assert len(result.rows) == 4
+    assert result.columns[:2] == ["workers", "isovalue"]
+    for row in result.rows:
+        assert row["total_s"] > 0
+        assert row["triangles"] >= 0
+    assert {r["workers"] for r in result.rows} == {1, 2}
+    assert {r["isovalue"] for r in result.rows} == {-0.3, -0.6}
+
+
+def test_sweep_without_grid_runs_base_params(sweep):
+    result = sweep.run(workers=(1,), grid={"isovalue": [-0.3]})
+    assert len(result.rows) == 1
+
+
+def test_sweep_warm_cache_changes_runtime(sweep):
+    cold = sweep.run(workers=(2,), grid={"isovalue": [-0.3]})
+    warm = sweep.run(workers=(2,), grid={"isovalue": [-0.3]}, warm=True)
+    assert warm.rows[0]["total_s"] < cold.rows[0]["total_s"]
+
+
+def test_sweep_custom_metric(sweep):
+    metrics = dict(DEFAULT_METRICS)
+    metrics["misses"] = lambda r: r.dms["misses"]
+    custom = Sweep(
+        dataset=build_engine(base_resolution=4, n_timesteps=2),
+        command="iso-dataman",
+        base_params={
+            "scalar": "pressure",
+            "time_range": (0, 1),
+            "prefetch": "none",  # every cold load is a demand miss
+        },
+        metrics=metrics,
+    )
+    result = custom.run(workers=(1,), grid={"isovalue": [-0.3]})
+    assert result.rows[0]["misses"] == 23  # cold pass loads every block
+
+
+def test_sweep_empty_axis_rejected(sweep):
+    with pytest.raises(ValueError):
+        sweep.run(workers=(1,), grid={"isovalue": []})
+
+
+def test_sweep_more_workers_faster(sweep):
+    result = sweep.run(workers=(1, 4), grid={"isovalue": [-0.3]}, warm=True)
+    by_workers = {r["workers"]: r["total_s"] for r in result.rows}
+    assert by_workers[4] < by_workers[1]

@@ -1,0 +1,122 @@
+"""Tests for the CLI entry point and failure paths through the stack."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro import ViracochaSession, build_engine
+from repro.bench import paper_cluster, paper_costs
+
+
+# ------------------------------------------------------------------ CLI
+
+
+def test_cli_help(capsys):
+    assert cli_main([]) == 0
+    assert "report" in capsys.readouterr().out
+
+
+def test_cli_commands_lists_registry(capsys):
+    assert cli_main(["commands"]) == 0
+    out = capsys.readouterr().out
+    assert "iso-dataman" in out
+    assert "streaklines" in out
+
+
+def test_cli_report_single_table(capsys):
+    assert cli_main(["report", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "engine" in out and "propfan" in out
+
+
+def test_cli_report_unknown_experiment():
+    with pytest.raises(KeyError):
+        cli_main(["report", "fig99"])
+
+
+def test_cli_unknown_ablation(capsys):
+    assert cli_main(["ablations", "nonsense"]) == 2
+
+
+def test_cli_unknown_mode(capsys):
+    assert cli_main(["frobnicate"]) == 2
+
+
+def test_cli_taxonomy(capsys):
+    assert cli_main(["taxonomy"]) == 0
+    out = capsys.readouterr().out
+    assert "Speed-Up" in out
+    assert "iso-viewer" in out
+
+
+def test_cli_export_roundtrip(tmp_path, capsys):
+    target = str(tmp_path / "exported")
+    assert cli_main(["export", "engine", target, "2", "4"]) == 0
+    from repro.io import DatasetStore
+
+    store = DatasetStore(target)
+    assert store.n_timesteps == 2
+    assert store.n_blocks == 23
+
+
+def test_cli_export_usage_errors(capsys):
+    assert cli_main(["export"]) == 2
+    assert cli_main(["export", "warpcore", "/tmp/x"]) == 2
+
+
+# ------------------------------------------------------------- failures
+
+
+@pytest.fixture(scope="module")
+def session():
+    return ViracochaSession(
+        build_engine(base_resolution=4, n_timesteps=2),
+        cluster_config=paper_cluster(2),
+        costs=paper_costs(),
+    )
+
+
+def test_unknown_command_raises(session):
+    with pytest.raises(KeyError, match="unknown command"):
+        session.run("warp-core-breach", params={})
+
+
+def test_missing_required_param_surfaces(session):
+    with pytest.raises(KeyError):
+        session.run("iso-dataman", params={"time_range": (0, 1)})  # no isovalue
+
+
+def test_pathlines_require_seeds(session):
+    with pytest.raises((KeyError, ValueError)):
+        session.run("pathlines-dataman", params={"time_range": (0, 1)})
+    with pytest.raises(ValueError, match="seed"):
+        session.run(
+            "pathlines-dataman", params={"seeds": [], "time_range": (0, 1)}
+        )
+
+
+def test_session_survives_failed_run(session):
+    """A failed command must not poison the session for later runs."""
+    with pytest.raises(KeyError):
+        session.run("iso-dataman", params={})
+    ok = session.run(
+        "iso-dataman",
+        params={"isovalue": -0.3, "scalar": "pressure", "time_range": (0, 1)},
+    )
+    assert ok.geometry.n_triangles >= 0
+    assert ok.total_runtime > 0
+
+
+def test_streaklines_through_framework(session):
+    result = session.run(
+        "streaklines",
+        params={
+            "seeds": [[0.2, 0.1, 0.8]],
+            "time_range": (0, 2),
+            "n_particles": 4,
+            "max_steps": 40,
+            "rtol": 1e-2,
+        },
+    )
+    streaks = result.payloads[0]
+    assert len(streaks) == 1
+    assert streaks[0].n_released == 4

@@ -1,0 +1,84 @@
+"""Tests for event tracing through the full stack."""
+
+import pytest
+
+from repro import ViracochaSession, build_engine
+from repro.bench import paper_cluster, paper_costs
+
+ISO = {"isovalue": -0.3, "scalar": "pressure", "time_range": (0, 1)}
+
+
+@pytest.fixture()
+def traced_session():
+    return ViracochaSession(
+        build_engine(base_resolution=4, n_timesteps=2),
+        cluster_config=paper_cluster(2),
+        costs=paper_costs(),
+        trace=True,
+    )
+
+
+def test_trace_disabled_by_default():
+    session = ViracochaSession(
+        build_engine(base_resolution=4, n_timesteps=1),
+        cluster_config=paper_cluster(1),
+        costs=paper_costs(),
+    )
+    assert session.trace is None
+
+
+def test_trace_records_command_lifecycle(traced_session):
+    traced_session.run("iso-dataman", params=ISO)
+    trace = traced_session.trace
+    start = trace.first("command-start")
+    end = trace.last("command-end")
+    assert start is not None and end is not None
+    assert start.time <= end.time
+    assert start.detail["command"] == "iso-dataman"
+    assert start.detail["workers"] == [0, 1]
+
+
+def test_trace_records_loads_with_strategy(traced_session):
+    traced_session.run("iso-dataman", params=ISO)
+    loads = traced_session.trace.of_kind("load")
+    assert len(loads) == 23  # one cold load per Engine block
+    assert all(e.detail["strategy"] in {"fileserver", "node-transfer", "collective"}
+               for e in loads)
+    assert all(e.detail["nbytes"] > 0 for e in loads)
+    # Loads happen inside the command window.
+    start = traced_session.trace.first("command-start")
+    end = traced_session.trace.last("command-end")
+    assert all(start.time <= e.time <= end.time for e in loads)
+
+
+def test_trace_records_streamed_packets(traced_session):
+    traced_session.run(
+        "iso-viewer",
+        params={**ISO, "viewpoint": (0, 0, -5), "max_triangles": 200},
+    )
+    streams = traced_session.trace.of_kind("stream")
+    assert streams
+    # Streamed packets start before the command ends (that is the point).
+    end = traced_session.trace.last("command-end")
+    assert streams[0].time < end.time
+
+
+def test_trace_demand_vs_prefetch_loads(traced_session):
+    traced_session.run("iso-dataman", params=ISO)
+    loads = traced_session.trace.of_kind("load")
+    demand = [e for e in loads if e.detail["demand"]]
+    prefetched = [e for e in loads if not e.detail["demand"]]
+    assert demand
+    assert prefetched  # OBL prefetching ran during the cold pass
+
+
+def test_trace_accumulates_across_runs(traced_session):
+    traced_session.run("iso-dataman", params=ISO)
+    n1 = len(traced_session.trace)
+    traced_session.run("iso-dataman", params=ISO)  # warm: no new loads
+    n2 = len(traced_session.trace)
+    assert n2 > n1
+    loads = traced_session.trace.of_kind("load")
+    assert len(loads) == 23  # still only the cold pass's loads
+    traced_session.trace.clear()
+    assert len(traced_session.trace) == 0

@@ -1,0 +1,132 @@
+"""Additional DES kernel edge-path tests."""
+
+import pytest
+
+from repro.des import AnyOf, Environment, Interrupt, SimulationError
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_anyof_fails_if_first_component_fails():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("first")
+
+    def slow():
+        yield env.timeout(5)
+
+    p_bad = env.process(bad())
+    p_slow = env.process(slow())
+    cond = AnyOf(env, [p_bad, p_slow])
+    caught = []
+
+    def waiter():
+        try:
+            yield cond
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    env.run()
+    assert caught == ["first"]
+
+
+def test_process_handles_interrupt_and_continues():
+    env = Environment()
+    log = []
+
+    def resilient():
+        while True:
+            try:
+                yield env.timeout(10)
+                log.append(("slept", env.now))
+                return
+            except Interrupt:
+                log.append(("interrupted", env.now))
+
+    p = env.process(resilient())
+
+    def poker():
+        yield env.timeout(1)
+        p.interrupt()
+        yield env.timeout(1)
+        p.interrupt()
+
+    env.process(poker())
+    env.run()
+    assert log[:2] == [("interrupted", 1), ("interrupted", 2)]
+    assert log[-1] == ("slept", 12)
+
+
+def test_process_raising_new_exception_after_interrupt():
+    env = Environment()
+
+    def touchy():
+        try:
+            yield env.timeout(10)
+        except Interrupt:
+            raise ValueError("refused")
+
+    p = env.process(touchy())
+
+    def poker():
+        yield env.timeout(1)
+        p.interrupt()
+
+    env.process(poker())
+    with pytest.raises(ValueError, match="refused"):
+        env.run()
+
+
+def test_timeout_while_until_deadline_exact():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(2.0)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run(until=2.0)  # inclusive boundary
+    assert fired == [2.0]
+    assert env.now == 2.0
+
+
+def test_event_defuse_suppresses_crash():
+    env = Environment()
+    evt = env.event()
+    evt.fail(RuntimeError("ignored"))
+    evt.defuse()
+    env.run()  # must not raise
+
+
+def test_interrupt_during_nested_wait_propagates_to_parent_target():
+    env = Environment()
+    outcome = []
+
+    def child():
+        yield env.timeout(100)
+        return "done"
+
+    def parent():
+        try:
+            result = yield env.process(child())
+            outcome.append(result)
+        except Interrupt:
+            outcome.append("interrupted")
+
+    p = env.process(parent())
+
+    def poker():
+        yield env.timeout(1)
+        p.interrupt()
+
+    env.process(poker())
+    env.run()
+    assert outcome == ["interrupted"]

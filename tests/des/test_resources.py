@@ -1,0 +1,202 @@
+"""Unit tests for Resource / Store / PriorityStore."""
+
+import pytest
+
+from repro.des import Environment, PriorityStore, Resource, Store
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert res.queue_len == 1
+
+
+def test_resource_release_grants_next_fifo():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    res.release(r1)
+    assert r2.triggered and not r3.triggered
+    res.release(r2)
+    assert r3.triggered
+
+
+def test_resource_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    res.release(r2)  # cancel while queued
+    r3 = res.request()
+    res.release(r1)
+    assert r3.triggered
+    assert not r2.triggered
+
+
+def test_resource_serializes_processes():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(name, hold):
+        with res.request() as req:
+            yield req
+            log.append((env.now, name, "in"))
+            yield env.timeout(hold)
+            log.append((env.now, name, "out"))
+
+    env.process(user("a", 3))
+    env.process(user("b", 2))
+    env.run()
+    assert log == [(0, "a", "in"), (3, "a", "out"), (3, "b", "in"), (5, "b", "out")]
+
+
+def test_resource_two_slots_run_concurrently():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    done = []
+
+    def user(name):
+        with res.request() as req:
+            yield req
+            yield env.timeout(4)
+            done.append((env.now, name))
+
+    for n in ["a", "b", "c"]:
+        env.process(user(n))
+    env.run()
+    assert done == [(4, "a"), (4, "b"), (8, "c")]
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    store.put("y")
+    got = []
+
+    def getter():
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    env.process(getter())
+    env.run()
+    assert got == ["x", "y"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter():
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def putter():
+        yield env.timeout(5)
+        store.put("late")
+
+    env.process(getter())
+    env.process(putter())
+    env.run()
+    assert got == [("late", 5)]
+
+
+def test_store_multiple_getters_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter(name):
+        item = yield store.get()
+        got.append((name, item))
+
+    env.process(getter("first"))
+    env.process(getter("second"))
+
+    def putter():
+        yield env.timeout(1)
+        store.put(1)
+        store.put(2)
+
+    env.process(putter())
+    env.run()
+    assert got == [("first", 1), ("second", 2)]
+
+
+def test_store_len_and_items():
+    env = Environment()
+    store = Store(env)
+    assert len(store) == 0
+    store.put("a")
+    store.put("b")
+    assert len(store) == 2
+    assert store.items == ("a", "b")
+
+
+def test_priority_store_orders_items():
+    env = Environment()
+    ps = PriorityStore(env)
+    ps.put((3, 0, "low"))
+    ps.put((1, 1, "high"))
+    ps.put((2, 2, "mid"))
+    got = []
+
+    def getter():
+        for _ in range(3):
+            got.append((yield ps.get())[2])
+
+    env.process(getter())
+    env.run()
+    assert got == ["high", "mid", "low"]
+
+
+def test_priority_store_blocked_getter_receives_best():
+    env = Environment()
+    ps = PriorityStore(env)
+    got = []
+
+    def getter():
+        got.append((yield ps.get()))
+
+    env.process(getter())
+
+    def putter():
+        yield env.timeout(1)
+        ps.put((5, 0, "only"))
+
+    env.process(putter())
+    env.run()
+    assert got == [(5, 0, "only")]
+
+
+def test_priority_store_put_reorders_pending_minimum():
+    env = Environment()
+    ps = PriorityStore(env)
+    ps.put((1, 0, "a"))
+    got = []
+
+    def getter():
+        got.append((yield ps.get()))
+        got.append((yield ps.get()))
+
+    env.process(getter())
+    env.run(until=0.0)
+    # getter consumed "a" and is now blocked; a lower-priority item should
+    # still be delivered when it is the only one.
+    ps.put((9, 1, "b"))
+    env.run()
+    assert [g[2] for g in got] == ["a", "b"]

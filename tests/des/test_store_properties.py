@@ -1,0 +1,97 @@
+"""Property-based tests for Store / PriorityStore under random schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, PriorityStore, Store
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("put"), st.integers(0, 99)),
+            st.tuples(st.just("get"), st.just(0)),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_store_is_fifo_under_any_schedule(ops):
+    """Whatever the put/get interleaving, items come out in put order
+    and getters are served in request order."""
+    env = Environment()
+    store = Store(env)
+    puts: list[int] = []
+    got: list[int] = []
+
+    def getter():
+        item = yield store.get()
+        got.append(item)
+
+    n_gets = 0
+    for op, value in ops:
+        if op == "put":
+            puts.append(value)
+            store.put(value)
+        else:
+            env.process(getter())
+            n_gets += 1
+        env.run()  # settle after each operation
+    delivered = min(len(puts), n_gets)
+    assert got == puts[:delivered]
+    assert len(store) == max(0, len(puts) - n_gets)
+
+
+@given(
+    items=st.lists(st.integers(0, 99), min_size=1, max_size=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_priority_store_drains_in_sorted_order(items):
+    env = Environment()
+    ps = PriorityStore(env)
+    for seq, value in enumerate(items):
+        ps.put((value, seq))
+    got = []
+
+    def drain():
+        for _ in range(len(items)):
+            item = yield ps.get()
+            got.append(item)
+
+    env.process(drain())
+    env.run()
+    assert got == sorted(got)
+    assert [v for v, _s in got] == sorted(items)
+
+
+@given(
+    batches=st.lists(
+        st.lists(st.integers(0, 9), min_size=1, max_size=5),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_priority_store_minimum_invariant_between_batches(batches):
+    """After each settled batch, a get returns the global minimum of
+    everything still stored."""
+    env = Environment()
+    ps = PriorityStore(env)
+    pending: list[tuple[int, int]] = []
+    seq = 0
+    for batch in batches:
+        for value in batch:
+            ps.put((value, seq))
+            pending.append((value, seq))
+            seq += 1
+        result = []
+
+        def take():
+            item = yield ps.get()
+            result.append(item)
+
+        env.process(take())
+        env.run()
+        expected = min(pending)
+        assert result == [expected]
+        pending.remove(expected)

@@ -1,0 +1,44 @@
+"""Unit tests for TraceRecorder."""
+
+from repro.des import TraceRecorder
+
+
+def filled():
+    t = TraceRecorder()
+    t.record(0.0, 1, "load", item="a")
+    t.record(1.0, 2, "emit", nbytes=10)
+    t.record(2.0, 1, "load", item="b")
+    return t
+
+
+def test_record_and_len():
+    t = filled()
+    assert len(t) == 3
+    assert [e.kind for e in t] == ["load", "emit", "load"]
+
+
+def test_of_kind_and_count():
+    t = filled()
+    assert len(t.of_kind("load")) == 2
+    assert t.count("load") == 2
+    assert t.count("nothing") == 0
+
+
+def test_first_and_last():
+    t = filled()
+    assert t.first("load").detail["item"] == "a"
+    assert t.last("load").detail["item"] == "b"
+    assert t.first("nothing") is None
+    assert t.last("nothing") is None
+
+
+def test_disabled_recorder_ignores_records():
+    t = TraceRecorder(enabled=False)
+    t.record(0.0, 0, "x")
+    assert len(t) == 0
+
+
+def test_clear():
+    t = filled()
+    t.clear()
+    assert len(t) == 0

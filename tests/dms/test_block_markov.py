@@ -1,0 +1,110 @@
+"""Tests for the block-level Markov prefetcher (pathline prediction)."""
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.dms import BlockMarkovPrefetcher, block_item
+
+
+def make(n_timesteps=5, blocks=(0, 1, 2, 3), **kwargs):
+    return BlockMarkovPrefetcher(
+        dataset="d", n_timesteps=n_timesteps, block_order=list(blocks), **kwargs
+    )
+
+
+def item(t, b):
+    return block_item("d", t, b)
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        make(width=0)
+
+
+def test_temporal_lookahead_always_suggested():
+    p = make()
+    out = p.observe(item(0, 2), was_hit=False)
+    assert item(1, 2) in out
+    assert item(2, 2) in out
+
+
+def test_temporal_lookahead_clipped_at_last_level():
+    p = make(n_timesteps=3)
+    out = p.observe(item(2, 1), was_hit=False)
+    assert item(3, 1) not in out
+    assert item(4, 1) not in out
+
+
+def test_obl_fallback_before_learning():
+    p = make()
+    out = p.observe(item(0, 1), was_hit=False)
+    # No spatial transition known for block 1 yet -> OBL suggests block 2.
+    assert p.fallbacks == 1
+    assert item(0, 2) in out or item(1, 2) in out
+
+
+def test_learns_spatial_transition():
+    p = make()
+    # Trajectory visits block 0 then block 3 (not sequential!).
+    p.observe(item(0, 0), was_hit=False)
+    p.observe(item(1, 0), was_hit=False)  # same block, next level: no new edge
+    p.observe(item(1, 3), was_hit=False)
+    assert p.table[0][3] == 1
+    # Re-entering block 0 now predicts block 3, not OBL's block 1.
+    out = p.observe(item(2, 0), was_hit=False)
+    suggested_blocks = {i.param("block") for i in out}
+    assert 3 in suggested_blocks
+    assert 1 not in suggested_blocks
+
+
+def test_duplicate_time_level_requests_collapse():
+    p = make()
+    p.observe(item(0, 0), False)
+    p.observe(item(1, 0), False)
+    p.observe(item(0, 0), False)
+    # No self-transition 0 -> 0 recorded.
+    assert p.table.get(0, Counter()).get(0, 0) == 0
+
+
+def test_shared_table_across_instances():
+    shared = defaultdict(Counter)
+    p1 = make(table=shared)
+    p2 = make(table=shared)
+    p1.observe(item(0, 0), False)
+    p1.observe(item(0, 2), False)  # worker 1 learns 0 -> 2
+    out = p2.observe(item(0, 0), False)  # worker 2 benefits immediately
+    assert 2 in {i.param("block") for i in out}
+
+
+def test_width_controls_suggestion_count():
+    p = make(width=2)
+    for nxt in (1, 2, 1):
+        p.observe(item(0, 0), False)
+        p.observe(item(0, nxt), False)
+    out = p.observe(item(0, 0), False)
+    blocks = {i.param("block") for i in out}
+    assert {1, 2} <= blocks
+
+
+def test_reset_clears_state():
+    p = make()
+    p.observe(item(0, 0), False)
+    p.observe(item(0, 1), False)
+    p.reset()
+    assert p.n_contexts == 0
+    assert p.fallbacks == 0
+    assert p._last_block is None
+
+
+def test_non_block_item_ignored():
+    from repro.dms import ItemName
+
+    p = make()
+    assert p.observe(ItemName("d", "other"), False) == []
+
+
+def test_suggestions_never_include_current_item():
+    p = make()
+    out = p.observe(item(0, 0), False)
+    assert item(0, 0) not in out

@@ -1,0 +1,79 @@
+"""DES-level test of the collective I/O path under a cold-start stampede."""
+
+import pytest
+
+from repro.des import ClusterConfig, Environment, SimCluster
+from repro.dms import (
+    DataManagerServer,
+    DataProxy,
+    SyntheticSource,
+    block_item,
+)
+from repro.synth import build_engine
+
+MB = 1024 * 1024
+
+
+def stampede_world(n_workers=8):
+    env = Environment()
+    # A slow single-stream fileserver makes the queue grow immediately.
+    cfg = ClusterConfig(
+        n_workers=n_workers,
+        fileserver_bandwidth=1 * MB,
+        fileserver_streams=1,
+        fileserver_latency=10e-3,
+    )
+    cluster = SimCluster(env, cfg)
+    server = DataManagerServer()
+    source = SyntheticSource(build_engine(base_resolution=4, n_timesteps=1))
+    proxies = [
+        DataProxy(env, cluster, node, server, source)
+        for node in cluster.worker_nodes
+    ]
+    return env, cluster, server, proxies
+
+
+def test_stampede_triggers_collective_io():
+    """Everyone cold-requesting the same item at once: the fitness
+    function makes collective I/O win for the laggards (§4.3: 'mostly
+    at cold starts or compulsory misses of whole data sets')."""
+    env, cluster, server, proxies = stampede_world()
+    item = block_item("engine", 0, 0)
+    blocks = []
+
+    def demand(proxy):
+        block = yield from proxy.request(item)
+        blocks.append(block)
+
+    for proxy in proxies:
+        env.process(demand(proxy))
+    env.run()
+    assert len(blocks) == len(proxies)
+    assert all(b.block_id == 0 for b in blocks)
+    decisions = server.selector.decisions
+    # All requesters register before any strategy query resolves, so
+    # every one of them sees the full stampede and picks collective.
+    assert decisions.get("collective", 0) >= 1
+    assert sum(decisions.values()) == len(proxies)
+
+
+def test_stampede_faster_than_pinned_fileserver():
+    """Adaptive selection beats everyone queueing for the full read."""
+    env_a, _, _, proxies_a = stampede_world()
+    item = block_item("engine", 0, 1)
+
+    def demand(proxy):
+        yield from proxy.request(item)
+
+    for proxy in proxies_a:
+        env_a.process(demand(proxy))
+    env_a.run()
+    t_adaptive = env_a.now
+
+    env_b, cluster_b, server_b, proxies_b = stampede_world()
+    server_b.selector.adaptive = False
+    for proxy in proxies_b:
+        env_b.process(demand(proxy))
+    env_b.run()
+    t_pinned = env_b.now
+    assert t_adaptive < t_pinned

@@ -1,0 +1,127 @@
+"""Tests for the compression model and fileserver-health adaptation."""
+
+import pytest
+
+from repro.des import ClusterConfig, Environment, SimCluster
+from repro.dms import (
+    DataManagerServer,
+    DataProxy,
+    FileServerLoad,
+    LoadContext,
+    SyntheticSource,
+    block_item,
+)
+from repro.dms.compression import GZIP_2004, LZO_2004, CompressionModel
+from repro.synth import build_engine
+
+MB = 1024 * 1024
+
+
+# ---------------------------------------------------------- compression
+
+
+def test_compression_model_validation():
+    with pytest.raises(ValueError):
+        CompressionModel("bad", ratio=0.0, compress_rate=1, decompress_rate=1)
+    with pytest.raises(ValueError):
+        CompressionModel("bad", ratio=1.5, compress_rate=1, decompress_rate=1)
+    with pytest.raises(ValueError):
+        CompressionModel("bad", ratio=0.5, compress_rate=0, decompress_rate=1)
+
+
+def test_compression_times():
+    codec = CompressionModel("c", ratio=0.5, compress_rate=100.0, decompress_rate=100.0)
+    # 100 bytes over a 10 B/s link: plain 10 s; compressed 1 + 5 + 1 = 7 s.
+    assert codec.plain_time(100, 10.0) == pytest.approx(10.0)
+    assert codec.compressed_time(100, 10.0) == pytest.approx(7.0)
+    assert codec.worthwhile(100, 10.0)
+
+
+def test_compression_loses_on_fast_links():
+    # 400 MB/s fabric: both 2004 codecs lose (the paper's conclusion).
+    nbytes = 1 * MB
+    for codec in (GZIP_2004, LZO_2004):
+        assert not codec.worthwhile(nbytes, 400.0 * MB)
+
+
+def test_compression_wins_on_slow_links():
+    assert GZIP_2004.worthwhile(1 * MB, 0.5 * MB)
+
+
+def test_breakeven_bandwidth_is_consistent():
+    codec = GZIP_2004
+    be = codec.breakeven_bandwidth()
+    assert codec.worthwhile(10 * MB, be * 0.5)
+    assert not codec.worthwhile(10 * MB, be * 2.0)
+
+
+def test_latency_cancels_out():
+    """Fixed latency applies to both paths; it never flips the decision."""
+    codec = GZIP_2004
+    for bw in (0.5 * MB, 400 * MB):
+        assert codec.worthwhile(MB, bw, latency=0.0) == codec.worthwhile(
+            MB, bw, latency=5.0
+        )
+
+
+# ----------------------------------------------------------- reliability
+
+
+def test_server_reliability_decay_and_recovery():
+    server = DataManagerServer()
+    assert server.fileserver_reliability == 1.0
+    server.report_fileserver_failure()
+    assert server.fileserver_reliability == pytest.approx(0.5)
+    server.report_fileserver_failure()
+    assert server.fileserver_reliability == pytest.approx(0.25)
+    for _ in range(100):
+        server.report_fileserver_success()
+    assert server.fileserver_reliability > 0.99
+
+
+def test_reliability_floor():
+    server = DataManagerServer()
+    for _ in range(50):
+        server.report_fileserver_failure()
+    assert server.fileserver_reliability >= 0.05
+
+
+def test_degraded_fileserver_shifts_strategy_choice():
+    """With a flaky fileserver the selector prefers a peer transfer even
+    in regimes where the fileserver would otherwise compete."""
+    server = DataManagerServer()
+    ctx_kwargs = dict(
+        key=1,
+        nbytes=1024,
+        requester=1,
+        holders=frozenset({2}),
+        fileserver_bandwidth=800.0 * MB,  # same speed as the fabric
+        fileserver_latency=30e-6,
+        fabric_bandwidth=800.0 * MB,
+        fabric_latency=30e-6,
+    )
+    healthy = server.choose_strategy(
+        LoadContext(**ctx_kwargs, fileserver_reliability=1.0)
+    )
+    for _ in range(3):
+        server.report_fileserver_failure()
+    degraded = server.choose_strategy(
+        LoadContext(**ctx_kwargs, fileserver_reliability=server.fileserver_reliability)
+    )
+    assert degraded.name == "node-transfer"
+    # (healthy choice may be either with equal links; the degraded one
+    # must avoid the flaky server.)
+    assert FileServerLoad().fitness(
+        LoadContext(**ctx_kwargs, fileserver_reliability=0.125)
+    ) < FileServerLoad().fitness(LoadContext(**ctx_kwargs, fileserver_reliability=1.0))
+
+
+def test_proxy_context_carries_server_reliability():
+    env = Environment()
+    cluster = SimCluster(env, ClusterConfig(n_workers=1))
+    server = DataManagerServer()
+    source = SyntheticSource(build_engine(base_resolution=4, n_timesteps=1))
+    proxy = DataProxy(env, cluster, cluster.worker_nodes[0], server, source)
+    server.report_fileserver_failure()
+    ctx = proxy._build_context(ident=0, nbytes=100)
+    assert ctx.fileserver_reliability == pytest.approx(0.5)

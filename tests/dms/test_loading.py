@@ -1,0 +1,116 @@
+"""Tests for loading strategies and the adaptive selector."""
+
+import pytest
+
+from repro.dms import (
+    AdaptiveSelector,
+    CollectiveLoad,
+    FileServerLoad,
+    LoadContext,
+    NodeTransferLoad,
+)
+
+MB = 1024 * 1024
+
+
+def ctx(**overrides):
+    defaults = dict(
+        key="item",
+        nbytes=8 * MB,
+        requester=1,
+        holders=frozenset(),
+        fileserver_queue=0,
+        fabric_queue=0,
+        concurrent_requesters=1,
+        fileserver_bandwidth=60.0 * MB,
+        fileserver_latency=5e-3,
+        fabric_bandwidth=800.0 * MB,
+        fabric_latency=30e-6,
+    )
+    defaults.update(overrides)
+    return LoadContext(**defaults)
+
+
+def test_fileserver_always_available():
+    assert FileServerLoad().available(ctx())
+
+
+def test_node_transfer_needs_another_holder():
+    s = NodeTransferLoad()
+    assert not s.available(ctx(holders=frozenset()))
+    assert not s.available(ctx(holders=frozenset({1})))  # only ourselves
+    assert s.available(ctx(holders=frozenset({1, 3})))
+
+
+def test_node_transfer_picks_deterministic_holder():
+    s = NodeTransferLoad()
+    assert s.pick_holder(ctx(holders=frozenset({5, 3, 1}))) == 3
+
+
+def test_collective_needs_concurrency():
+    s = CollectiveLoad()
+    assert not s.available(ctx(concurrent_requesters=1))
+    assert s.available(ctx(concurrent_requesters=4))
+
+
+def test_fabric_beats_fileserver_when_holder_exists():
+    c = ctx(holders=frozenset({2}))
+    assert NodeTransferLoad().fitness(c) > FileServerLoad().fitness(c)
+
+
+def test_fileserver_fitness_degrades_with_queue():
+    fast = FileServerLoad().fitness(ctx(fileserver_queue=0))
+    slow = FileServerLoad().fitness(ctx(fileserver_queue=8))
+    assert slow < fast
+
+
+def test_fileserver_fitness_degrades_with_reliability():
+    good = FileServerLoad().fitness(ctx(fileserver_reliability=1.0))
+    bad = FileServerLoad().fitness(ctx(fileserver_reliability=0.25))
+    assert bad == pytest.approx(good * 0.25)
+
+
+def test_collective_beats_direct_at_stampede():
+    """Many simultaneous requesters of one item make collective I/O win."""
+    stampede = ctx(concurrent_requesters=12, fileserver_queue=12)
+    assert CollectiveLoad().fitness(stampede) > FileServerLoad().fitness(stampede)
+
+
+def test_collective_loses_for_single_requests():
+    """Coordination overhead makes collective unattractive normally —
+    the paper's conclusion about its limited use in Viracocha."""
+    light = ctx(concurrent_requesters=2, nbytes=256 * 1024)
+    assert CollectiveLoad().fitness(light) < FileServerLoad().fitness(light)
+
+
+def test_selector_picks_max_fitness():
+    sel = AdaptiveSelector()
+    chosen = sel.select(ctx(holders=frozenset({2})))
+    assert chosen.name == "node-transfer"
+    chosen = sel.select(ctx())
+    assert chosen.name == "fileserver"
+    assert sel.decisions["node-transfer"] == 1
+    assert sel.decisions["fileserver"] == 1
+
+
+def test_selector_non_adaptive_pins_first():
+    sel = AdaptiveSelector(adaptive=False)
+    chosen = sel.select(ctx(holders=frozenset({2})))
+    assert chosen.name == "fileserver"
+
+
+def test_selector_requires_strategies():
+    with pytest.raises(ValueError):
+        AdaptiveSelector(strategies=[])
+
+
+def test_selector_no_available_strategy_raises():
+    class Never(FileServerLoad):
+        name = "never"
+
+        def available(self, c):
+            return False
+
+    sel = AdaptiveSelector(strategies=[Never()])
+    with pytest.raises(LookupError):
+        sel.select(ctx())

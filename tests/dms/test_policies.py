@@ -1,0 +1,142 @@
+"""Unit and property tests for LRU / LFU / FBR replacement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dms import FBRPolicy, LFUPolicy, LRUPolicy, make_policy
+
+
+@pytest.mark.parametrize("name", ["lru", "lfu", "fbr"])
+def test_factory_returns_policy(name):
+    p = make_policy(name)
+    p.on_insert("a")
+    assert "a" in p
+    assert len(p) == 1
+
+
+def test_factory_unknown_name():
+    with pytest.raises(ValueError, match="unknown"):
+        make_policy("clock")
+
+
+@pytest.mark.parametrize("cls", [LRUPolicy, LFUPolicy, FBRPolicy])
+def test_double_insert_rejected(cls):
+    p = cls()
+    p.on_insert("a")
+    with pytest.raises(KeyError):
+        p.on_insert("a")
+
+
+@pytest.mark.parametrize("cls", [LRUPolicy, LFUPolicy, FBRPolicy])
+def test_victim_on_empty_raises(cls):
+    with pytest.raises(LookupError):
+        cls().victim()
+
+
+@pytest.mark.parametrize("cls", [LRUPolicy, LFUPolicy, FBRPolicy])
+def test_remove_untracks(cls):
+    p = cls()
+    p.on_insert("a")
+    p.remove("a")
+    assert "a" not in p
+    assert len(p) == 0
+
+
+def test_lru_evicts_least_recent():
+    p = LRUPolicy()
+    for k in "abc":
+        p.on_insert(k)
+    p.on_access("a")  # order now: b, c, a
+    assert p.victim() == "b"
+    p.on_access("b")
+    assert p.victim() == "c"
+
+
+def test_lfu_evicts_least_frequent():
+    p = LFUPolicy()
+    for k in "abc":
+        p.on_insert(k)
+    p.on_access("a")
+    p.on_access("a")
+    p.on_access("b")
+    assert p.victim() == "c"  # count 1 vs 2 (b) vs 3 (a)
+
+
+def test_lfu_ties_broken_by_recency():
+    p = LFUPolicy()
+    for k in "abc":
+        p.on_insert(k)
+    # all counts equal; 'a' inserted first and never touched since
+    assert p.victim() == "a"
+    p.on_access("a")  # now b is oldest at min count
+    assert p.victim() == "b"
+
+
+def test_fbr_new_section_hits_do_not_count():
+    p = FBRPolicy(new_fraction=0.5, old_fraction=0.25)
+    for k in "abcd":
+        p.on_insert(k)
+    # 'd' is most recent -> in the new section; hits there leave counts at 1.
+    p.on_access("d")
+    p.on_access("d")
+    assert p._counts["d"] == 1
+    # 'a' is LRU -> old section; a hit there increments.
+    p.on_access("a")
+    assert p._counts["a"] == 2
+
+
+def test_fbr_victim_from_old_section_least_frequent():
+    p = FBRPolicy(new_fraction=0.25, old_fraction=0.5)
+    for k in "abcd":
+        p.on_insert(k)
+    # Touch 'a' (old section) twice so 'b' has the lowest count among old.
+    p.on_access("a")
+    p.on_access("a")
+    assert p.victim() == "b"
+
+
+def test_fbr_rescale_keeps_counts_bounded():
+    p = FBRPolicy(a_max=3.0)
+    for k in "ab":
+        p.on_insert(k)
+    for _ in range(50):
+        p.on_access("a")
+    assert p._counts["a"] <= 2 * 3 + 2  # halving keeps it near a_max
+
+
+def test_fbr_fraction_validation():
+    with pytest.raises(ValueError):
+        FBRPolicy(new_fraction=1.5)
+    with pytest.raises(ValueError):
+        FBRPolicy(new_fraction=0.7, old_fraction=0.7)
+    with pytest.raises(ValueError):
+        FBRPolicy(old_fraction=0.0)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "access", "evict"]), st.integers(0, 9)),
+        max_size=80,
+    ),
+    policy_name=st.sampled_from(["lru", "lfu", "fbr"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_policy_invariants(ops, policy_name):
+    """Any op sequence keeps tracked set consistent and victims valid."""
+    p = make_policy(policy_name)
+    tracked = set()
+    for op, key in ops:
+        if op == "insert" and key not in tracked:
+            p.on_insert(key)
+            tracked.add(key)
+        elif op == "access" and key in tracked:
+            p.on_access(key)
+        elif op == "evict" and tracked:
+            v = p.victim()
+            assert v in tracked
+            p.remove(v)
+            tracked.discard(v)
+        assert len(p) == len(tracked)
+        for k in tracked:
+            assert k in p

@@ -1,0 +1,76 @@
+"""Unit tests for the block-source adapters."""
+
+import pytest
+
+from repro import build_engine
+from repro.dms import StoreSource, SyntheticSource, block_item
+from repro.dms.source import _indices
+from repro.io import write_dataset
+from repro.synth import BYTES_PER_POINT
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_engine(base_resolution=4, n_timesteps=3)
+
+
+@pytest.fixture(scope="module")
+def synthetic(engine):
+    return SyntheticSource(engine)
+
+
+@pytest.fixture(scope="module")
+def store_source(engine, tmp_path_factory):
+    root = tmp_path_factory.mktemp("src") / "d"
+    write_dataset(
+        root,
+        [engine.level(t) for t in range(3)],
+        modeled_shapes=list(engine.spec.modeled_shapes),
+        times=engine.spec.times[:3],
+    )
+    from repro.io import DatasetStore
+
+    return StoreSource(DatasetStore(root))
+
+
+def test_indices_require_block_params():
+    from repro.dms import ItemName
+
+    with pytest.raises(KeyError):
+        _indices(ItemName("d", "other"))
+
+
+@pytest.mark.parametrize("source_name", ["synthetic", "store_source"])
+def test_source_interface(source_name, request, engine):
+    source = request.getfixturevalue(source_name)
+    assert source.name == "engine"
+    assert source.n_timesteps == 3
+    assert source.n_blocks == 23
+    assert source.times == pytest.approx(engine.spec.times[:3])
+    block = source.get(block_item("engine", 1, 2))
+    assert block.block_id == 2
+    assert block.time_index == 1
+    seq = source.item_sequence(0)
+    assert len(seq) == 23
+    assert seq[0].param("block") == 0
+    handles = source.handles(2)
+    assert handles[0].time_index == 2
+    assert handles[0].modeled_shape == tuple(engine.spec.modeled_shapes[0])
+
+
+def test_modeled_bytes_agree_between_adapters(synthetic, store_source):
+    item = block_item("engine", 0, 5)
+    assert synthetic.modeled_bytes(item) == store_source.modeled_bytes(item)
+    ni, nj, nk = synthetic.dataset.spec.modeled_shapes[5]
+    assert synthetic.modeled_bytes(item) == ni * nj * nk * BYTES_PER_POINT
+
+
+def test_synthetic_source_block_content_matches_dataset(engine, synthetic):
+    import numpy as np
+
+    direct = engine.build_block(2, 7)
+    via_source = synthetic.get(block_item("engine", 2, 7))
+    np.testing.assert_array_equal(direct.coords, via_source.coords)
+    np.testing.assert_array_equal(
+        direct.field("velocity"), via_source.field("velocity")
+    )

@@ -1,0 +1,116 @@
+"""Unit tests for DMSStatistics."""
+
+import pytest
+
+from repro.dms import DMSStatistics
+
+
+def test_empty_stats_rates():
+    s = DMSStatistics()
+    assert s.hit_rate == 0.0
+    assert s.miss_rate == 0.0
+    assert s.prefetch_accuracy == 0.0
+    assert s.misses_eliminated_fraction(0) == 0.0
+
+
+def test_request_accounting():
+    s = DMSStatistics()
+    s.record_request("a", "l1")
+    s.record_request("b", "l2")
+    s.record_request("c", "miss")
+    assert s.requests == 3
+    assert s.hits == 2
+    assert s.hits_l1 == 1
+    assert s.hits_l2 == 1
+    assert s.misses == 1
+    assert s.hit_rate == pytest.approx(2 / 3)
+    assert s.miss_rate == pytest.approx(1 / 3)
+    assert s.request_log == ["a", "b", "c"]
+
+
+def test_prefetch_usefulness():
+    s = DMSStatistics()
+    s.record_prefetch("x", issued=True)
+    s.record_prefetch("y", issued=True)
+    s.record_prefetch("z", issued=False)
+    assert s.prefetches_issued == 2
+    assert s.prefetches_dropped == 1
+    s.record_request("x", "l1")  # prefetched then hit -> useful
+    assert s.prefetches_useful == 1
+    assert s.prefetch_accuracy == pytest.approx(0.5)
+
+
+def test_prefetch_evicted_before_use_not_useful():
+    s = DMSStatistics()
+    s.record_prefetch("x", issued=True)
+    s.forget_prefetched("x")
+    s.record_request("x", "miss")
+    assert s.prefetches_useful == 0
+    assert s.misses_covered == 0
+
+
+def test_inflight_hit_counts_once():
+    s = DMSStatistics()
+    s.record_prefetch("x", issued=True)
+    # Demand arrived while the prefetch was still loading: the proxy
+    # records the miss, then marks the in-flight coverage.
+    s.record_request("x", "miss")
+    s.record_inflight_hit("x")
+    assert s.misses == 1
+    assert s.prefetches_useful == 1
+    assert s.misses_covered == 1
+    # Repeating the coverage call must not double count.
+    s.record_inflight_hit("x")
+    assert s.prefetches_useful == 1
+
+
+def test_misses_eliminated_fraction():
+    s = DMSStatistics()
+    for _ in range(3):
+        s.record_request("k", "miss")
+    assert s.misses_eliminated_fraction(10) == pytest.approx(0.7)
+    assert s.misses_eliminated_fraction(2) == 0.0  # never negative
+
+
+def test_load_accounting():
+    s = DMSStatistics()
+    s.record_load("fileserver", 100)
+    s.record_load("node-transfer", 50)
+    s.record_load("fileserver", 100)
+    assert s.loads_by_strategy["fileserver"] == 2
+    assert s.loads_by_strategy["node-transfer"] == 1
+    assert s.bytes_loaded == 250
+
+
+def test_merge_combines_everything():
+    a = DMSStatistics()
+    a.record_request("x", "l1")
+    a.record_load("fileserver", 10)
+    a.record_prefetch("p", issued=True)
+    b = DMSStatistics()
+    b.record_request("y", "miss")
+    b.record_load("fileserver", 20)
+    a.merge(b)
+    assert a.requests == 2
+    assert a.hits == 1
+    assert a.misses == 1
+    assert a.loads_by_strategy["fileserver"] == 2
+    assert a.bytes_loaded == 30
+    assert a.request_log == ["x", "y"]
+
+
+def test_report_json_roundtrip(tmp_path, capsys):
+    from repro.bench.report import main as report_main
+    import json
+
+    out = tmp_path / "results.json"
+    assert report_main(["table1", "--json", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload[0]["experiment_id"] == "table1"
+    assert payload[0]["rows"][0]["dataset"] == "engine"
+
+
+def test_report_json_missing_path():
+    from repro.bench.report import main as report_main
+
+    assert report_main(["table1", "--json"]) == 2

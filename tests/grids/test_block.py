@@ -1,0 +1,152 @@
+"""Unit tests for StructuredBlock and BlockHandle."""
+
+import numpy as np
+import pytest
+
+from repro.grids import StructuredBlock
+from repro.synth import cartesian_lattice, warp_lattice
+
+
+def make_block(shape=(4, 5, 6), warped=False):
+    coords = cartesian_lattice((0, 0, 0), (1, 2, 3), shape)
+    if warped:
+        coords = warp_lattice(coords, amplitude=0.03)
+    return StructuredBlock(coords)
+
+
+def test_shape_and_counts():
+    b = make_block((4, 5, 6))
+    assert b.shape == (4, 5, 6)
+    assert b.cell_shape == (3, 4, 5)
+    assert b.n_points == 120
+    assert b.n_cells == 60
+
+
+def test_rejects_wrong_coord_shape():
+    with pytest.raises(ValueError):
+        StructuredBlock(np.zeros((4, 5, 6)))
+    with pytest.raises(ValueError):
+        StructuredBlock(np.zeros((4, 5, 6, 2)))
+
+
+def test_rejects_single_point_dimension():
+    with pytest.raises(ValueError):
+        StructuredBlock(np.zeros((1, 5, 6, 3)))
+
+
+def test_rejects_nonfinite_coords():
+    coords = cartesian_lattice((0, 0, 0), (1, 1, 1), (3, 3, 3))
+    coords[0, 0, 0, 0] = np.nan
+    with pytest.raises(ValueError):
+        StructuredBlock(coords)
+
+
+def test_scalar_field_roundtrip():
+    b = make_block()
+    data = np.arange(b.n_points, dtype=float).reshape(b.shape)
+    b.set_field("p", data)
+    assert b.has_field("p")
+    np.testing.assert_array_equal(b.field("p"), data)
+    assert b.scalar_range("p") == (0.0, float(b.n_points - 1))
+
+
+def test_vector_field_roundtrip():
+    b = make_block()
+    v = np.ones(b.shape + (3,))
+    b.set_field("velocity", v)
+    assert b.field("velocity").shape == b.shape + (3,)
+
+
+def test_field_shape_mismatch_rejected():
+    b = make_block()
+    with pytest.raises(ValueError):
+        b.set_field("bad", np.zeros((2, 2, 2)))
+    with pytest.raises(ValueError):
+        b.set_field("bad", np.zeros(b.shape + (2,)))
+
+
+def test_missing_field_raises_with_available_names():
+    b = make_block()
+    b.set_field("p", np.zeros(b.shape))
+    with pytest.raises(KeyError, match="p"):
+        b.field("nope")
+
+
+def test_scalar_range_rejects_vector():
+    b = make_block()
+    b.set_field("velocity", np.zeros(b.shape + (3,)))
+    with pytest.raises(ValueError):
+        b.scalar_range("velocity")
+
+
+def test_bounds_of_cartesian_block():
+    b = make_block()
+    bb = b.bounds()
+    np.testing.assert_allclose(bb[0], [0, 0, 0])
+    np.testing.assert_allclose(bb[1], [1, 2, 3])
+    np.testing.assert_allclose(b.center(), [0.5, 1.0, 1.5])
+
+
+def test_cell_corner_points_order():
+    b = make_block((3, 3, 3))
+    corners = b.cell_corner_points(0, 0, 0)
+    assert corners.shape == (8, 3)
+    np.testing.assert_allclose(corners[0], b.coords[0, 0, 0])
+    np.testing.assert_allclose(corners[1], b.coords[1, 0, 0])
+    np.testing.assert_allclose(corners[2], b.coords[1, 1, 0])
+    np.testing.assert_allclose(corners[3], b.coords[0, 1, 0])
+    np.testing.assert_allclose(corners[6], b.coords[1, 1, 1])
+
+
+def test_cell_corner_values_match_points():
+    b = make_block((3, 3, 3))
+    f = b.coords[..., 0] + 10 * b.coords[..., 1]
+    b.set_field("s", f)
+    pts = b.cell_corner_points(1, 1, 1)
+    vals = b.cell_corner_values("s", 1, 1, 1)
+    np.testing.assert_allclose(vals, pts[:, 0] + 10 * pts[:, 1])
+
+
+def test_iter_cells_count():
+    b = make_block((3, 4, 5))
+    cells = list(b.iter_cells())
+    assert len(cells) == b.n_cells
+    assert cells[0] == (0, 0, 0)
+    assert cells[-1] == (1, 2, 3)
+
+
+def test_copy_is_deep():
+    b = make_block()
+    b.set_field("p", np.zeros(b.shape))
+    c = b.copy()
+    c.coords[0, 0, 0] = 99
+    c.field("p")[0, 0, 0] = 99
+    assert b.coords[0, 0, 0, 0] != 99
+    assert b.field("p")[0, 0, 0] == 0
+
+
+def test_nbytes_counts_fields():
+    b = make_block()
+    before = b.nbytes
+    b.set_field("p", np.zeros(b.shape))
+    assert b.nbytes == before + 8 * b.n_points
+
+
+def test_handle_scale_factor():
+    from repro.grids import BlockHandle
+
+    h = BlockHandle(
+        dataset="d",
+        block_id=0,
+        time_index=0,
+        shape=(3, 3, 3),
+        modeled_shape=(5, 5, 5),
+        bounds_min=(0, 0, 0),
+        bounds_max=(1, 1, 1),
+    )
+    assert h.n_cells == 8
+    assert h.modeled_cells == 64
+    assert h.scale_factor == 8.0
+    assert h.n_points == 27
+    assert h.modeled_points == 125
+    np.testing.assert_allclose(h.center(), [0.5, 0.5, 0.5])

@@ -1,0 +1,160 @@
+"""Tests for MultiBlockDataset, TimeSeries and BlockTopology."""
+
+import numpy as np
+import pytest
+
+from repro.grids import BlockTopology, MultiBlockDataset, StructuredBlock, TimeSeries, file_order
+from repro.synth import cartesian_lattice
+
+
+def block_at(lo, hi, block_id, shape=(3, 3, 3), t=0):
+    b = StructuredBlock(
+        cartesian_lattice(lo, hi, shape), block_id=block_id, time_index=t
+    )
+    b.set_field("p", np.full(shape, float(block_id)))
+    return b
+
+
+def two_block_dataset():
+    return MultiBlockDataset(
+        [
+            block_at((0, 0, 0), (1, 1, 1), 0),
+            block_at((1, 0, 0), (2, 1, 1), 1),
+        ],
+        name="pair",
+    )
+
+
+def test_dataset_requires_blocks():
+    with pytest.raises(ValueError):
+        MultiBlockDataset([])
+
+
+def test_dataset_rejects_duplicate_ids():
+    with pytest.raises(ValueError):
+        MultiBlockDataset(
+            [block_at((0, 0, 0), (1, 1, 1), 0), block_at((1, 0, 0), (2, 1, 1), 0)]
+        )
+
+
+def test_dataset_lookup_and_iteration():
+    ds = two_block_dataset()
+    assert len(ds) == 2
+    assert ds[1].block_id == 1
+    assert [b.block_id for b in ds] == [0, 1]
+    with pytest.raises(KeyError):
+        ds[99]
+
+
+def test_dataset_aggregates():
+    ds = two_block_dataset()
+    assert ds.n_cells == 16
+    assert ds.n_points == 54
+    bb = ds.bounds()
+    np.testing.assert_allclose(bb[0], [0, 0, 0])
+    np.testing.assert_allclose(bb[1], [2, 1, 1])
+    assert ds.field_names() == ["p"]
+    assert ds.scalar_range("p") == (0.0, 1.0)
+
+
+def test_dataset_handles_carry_modeled_shapes():
+    ds = two_block_dataset()
+    handles = ds.handles(modeled_shapes=[(9, 9, 9), (5, 5, 5)])
+    assert handles[0].modeled_shape == (9, 9, 9)
+    assert handles[0].shape == (3, 3, 3)
+    assert handles[1].scale_factor == pytest.approx(64 / 8)
+
+
+def test_timeseries_validation():
+    with pytest.raises(ValueError):
+        TimeSeries([], lambda i: None)
+    with pytest.raises(ValueError):
+        TimeSeries([0.0, 0.0], lambda i: None)
+
+
+def test_timeseries_lazy_getter_and_cache():
+    calls = []
+
+    def getter(i):
+        calls.append(i)
+        return MultiBlockDataset([block_at((0, 0, 0), (1, 1, 1), 0, t=i)], time=i)
+
+    ts = TimeSeries([0.0, 1.0, 2.0], getter)
+    assert len(ts) == 3
+    ts.level(1)
+    ts.level(1)
+    assert calls == [1]
+    ts.clear_cache()
+    ts.level(1)
+    assert calls == [1, 1]
+
+
+def test_timeseries_level_out_of_range():
+    ts = TimeSeries([0.0, 1.0], lambda i: None)
+    with pytest.raises(IndexError):
+        ts.level(2)
+    with pytest.raises(IndexError):
+        ts.level(-1)
+
+
+def test_timeseries_bracket():
+    ts = TimeSeries([0.0, 1.0, 3.0], lambda i: None)
+    assert ts.bracket(-1.0) == (0, 0, 0.0)
+    assert ts.bracket(5.0) == (2, 2, 0.0)
+    lo, hi, w = ts.bracket(2.0)
+    assert (lo, hi) == (1, 2)
+    assert w == pytest.approx(0.5)
+    lo, hi, w = ts.bracket(0.25)
+    assert (lo, hi) == (0, 1)
+    assert w == pytest.approx(0.25)
+
+
+# ---------------------------------------------------------------- topology
+
+
+def grid_of_handles(n=3):
+    """n x 1 x 1 row of adjacent unit blocks."""
+    blocks = [
+        block_at((i, 0, 0), (i + 1, 1, 1), i) for i in range(n)
+    ]
+    return MultiBlockDataset(blocks).handles()
+
+
+def test_file_order_is_sorted_ids():
+    handles = grid_of_handles(4)
+    shuffled = [handles[2], handles[0], handles[3], handles[1]]
+    assert file_order(shuffled) == [0, 1, 2, 3]
+
+
+def test_topology_candidates_contain_point():
+    topo = BlockTopology(grid_of_handles(3))
+    assert topo.candidates(np.array([0.5, 0.5, 0.5])) == [0]
+    assert topo.candidates(np.array([2.5, 0.5, 0.5])) == [2]
+    assert topo.candidates(np.array([50.0, 0.5, 0.5])) == []
+
+
+def test_topology_candidates_on_shared_face_sorted_by_center():
+    topo = BlockTopology(grid_of_handles(3))
+    hits = topo.candidates(np.array([1.0, 0.5, 0.5]))
+    assert set(hits) == {0, 1}
+
+
+def test_topology_neighbors():
+    topo = BlockTopology(grid_of_handles(3))
+    assert topo.neighbors(0) == [1]
+    assert sorted(topo.neighbors(1)) == [0, 2]
+    with pytest.raises(KeyError):
+        topo.neighbors(42)
+
+
+def test_topology_front_to_back_ordering():
+    topo = BlockTopology(grid_of_handles(4))
+    order = topo.front_to_back(np.array([-10.0, 0.5, 0.5]))
+    assert order == [0, 1, 2, 3]
+    order = topo.front_to_back(np.array([10.0, 0.5, 0.5]))
+    assert order == [3, 2, 1, 0]
+
+
+def test_topology_requires_handles():
+    with pytest.raises(ValueError):
+        BlockTopology([])

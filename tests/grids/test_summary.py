@@ -1,0 +1,83 @@
+"""Tests for dataset summaries."""
+
+import numpy as np
+import pytest
+
+from repro import build_engine
+from repro.grids import (
+    MultiBlockDataset,
+    StructuredBlock,
+    summarize_block,
+    summarize_dataset,
+)
+from repro.synth import cartesian_lattice
+
+
+def unit_block(block_id=0):
+    b = StructuredBlock(
+        cartesian_lattice((0, 0, 0), (1, 1, 1), (3, 3, 3)), block_id=block_id
+    )
+    b.set_field("p", b.coords[..., 0])
+    b.set_field("velocity", np.ones(b.shape + (3,)))
+    return b
+
+
+def test_block_summary_values():
+    s = summarize_block(unit_block())
+    assert s.shape == (3, 3, 3)
+    assert s.n_cells == 8
+    assert s.volume == pytest.approx(1.0)
+    assert s.aspect == pytest.approx(1.0)
+    assert s.field_ranges["p"] == (0.0, 1.0)
+    lo, hi = s.field_ranges["|velocity|"]
+    assert lo == pytest.approx(np.sqrt(3.0))
+    assert hi == pytest.approx(np.sqrt(3.0))
+
+
+def test_block_summary_graded_mesh():
+    coords = cartesian_lattice((0, 0, 0), (1, 1, 1), (3, 3, 3)).copy()
+    coords[1, :, :, 0] = 0.1  # squeeze the first cell layer
+    b = StructuredBlock(coords)
+    s = summarize_block(b)
+    assert s.aspect == pytest.approx(9.0)
+
+
+def test_dataset_summary_aggregates():
+    ds = MultiBlockDataset([unit_block(0), unit_block(1)], name="pair")
+    # (identical overlapping blocks: fine for aggregation testing)
+    s = summarize_dataset(ds)
+    assert s.name == "pair"
+    assert s.n_blocks == 2
+    assert s.n_cells == 16
+    assert s.total_volume == pytest.approx(2.0)
+    assert s.field_ranges["p"] == (0.0, 1.0)
+    assert len(s.blocks) == 2
+
+
+def test_dataset_summary_on_engine():
+    level = build_engine(base_resolution=5, n_timesteps=1).level(0)
+    s = summarize_dataset(level)
+    assert s.n_blocks == 23
+    assert s.matched_interfaces >= 20
+    assert "pressure" in s.field_ranges
+    assert "|velocity|" in s.field_ranges
+    text = s.format(max_blocks=3)
+    assert "engine" in text
+    assert "... (20 more blocks)" in text
+
+
+def test_cli_info_for_store(tmp_path, capsys):
+    from repro.__main__ import main as cli_main
+    from repro.io import write_dataset
+
+    engine = build_engine(base_resolution=4, n_timesteps=1)
+    write_dataset(tmp_path / "d", [engine.level(0)])
+    assert cli_main(["info", str(tmp_path / "d")]) == 0
+    out = capsys.readouterr().out
+    assert "23 blocks" in out
+
+
+def test_cli_info_usage(capsys):
+    from repro.__main__ import main as cli_main
+
+    assert cli_main(["info"]) == 2

@@ -1,0 +1,78 @@
+"""Tests for out-of-core block iteration."""
+
+import numpy as np
+import pytest
+
+from repro import build_engine
+from repro.algorithms import extract_isosurface
+from repro.io import (
+    BoundedBlockReader,
+    isosurface_out_of_core,
+    iter_blocks,
+    write_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    engine = build_engine(base_resolution=5, n_timesteps=2)
+    root = tmp_path_factory.mktemp("ooc") / "engine"
+    return write_dataset(
+        root,
+        [engine.level(0), engine.level(1)],
+        modeled_shapes=list(engine.spec.modeled_shapes),
+        times=engine.spec.times[:2],
+    )
+
+
+def test_iter_blocks_covers_level(store):
+    ids = [b.block_id for b in iter_blocks(store, 0)]
+    assert ids == list(range(store.n_blocks))
+
+
+def test_bounded_reader_validation(store):
+    with pytest.raises(ValueError):
+        BoundedBlockReader(store, max_blocks=0)
+
+
+def test_bounded_reader_respects_budget(store):
+    reader = BoundedBlockReader(store, max_blocks=3)
+    for bid in range(10):
+        reader.get(0, bid)
+        assert reader.resident_count <= 3
+    assert reader.reads == 10
+    assert reader.hits == 0
+
+
+def test_bounded_reader_hits_on_reuse(store):
+    reader = BoundedBlockReader(store, max_blocks=4)
+    reader.get(0, 0)
+    reader.get(0, 1)
+    reader.get(0, 0)  # hit
+    assert reader.hits == 1
+    assert reader.reads == 2
+
+
+def test_bounded_reader_evicts_lru(store):
+    reader = BoundedBlockReader(store, max_blocks=2)
+    reader.get(0, 0)
+    reader.get(0, 1)
+    reader.get(0, 0)  # refresh 0 -> 1 becomes LRU
+    reader.get(0, 2)  # evicts 1
+    reader.get(0, 0)  # still resident
+    assert reader.hits == 2
+    reader.get(0, 1)  # was evicted -> re-read
+    assert reader.reads == 4
+    reader.clear()
+    assert reader.resident_count == 0
+
+
+def test_out_of_core_isosurface_matches_in_core(store):
+    in_core = extract_isosurface(store.read_level(0), "pressure", -0.3)
+    seen = []
+    out_of_core = isosurface_out_of_core(
+        store, 0, "pressure", -0.3, on_fragment=lambda m, bid: seen.append(bid)
+    )
+    assert out_of_core.n_triangles == in_core.n_triangles
+    assert out_of_core.area() == pytest.approx(in_core.area(), rel=1e-9)
+    assert seen == list(range(store.n_blocks))

@@ -1,0 +1,73 @@
+"""Tests for the terminal geometry renderer."""
+
+import numpy as np
+import pytest
+
+from repro.viz import PolylineSet, TriangleMesh, render_ascii
+
+
+def square_mesh():
+    """Two triangles tiling the unit square in the xy plane."""
+    verts = np.array(
+        [
+            [0, 0, 0], [1, 0, 0], [0, 1, 0],
+            [1, 0, 0], [1, 1, 0], [0, 1, 0],
+        ],
+        dtype=float,
+    )
+    return TriangleMesh(verts)
+
+
+def test_render_frame_dimensions():
+    out = render_ascii(square_mesh(), "xy", width=20, height=8)
+    lines = out.split("\n")
+    assert len(lines) == 10  # frame + 8 rows + frame
+    assert all(len(line) == 22 for line in lines)
+
+
+def test_render_empty_mesh_is_blank():
+    out = render_ascii(TriangleMesh(), "xy", width=10, height=4)
+    interior = [line[1:-1] for line in out.split("\n")[1:-1]]
+    assert all(set(row) == {" "} for row in interior)
+
+
+def test_render_marks_geometry():
+    out = render_ascii(square_mesh(), "xy", width=10, height=4)
+    assert any(ch != " " for line in out.split("\n")[1:-1] for ch in line[1:-1])
+
+
+def test_render_polylines():
+    line = PolylineSet(np.array([[0, 0, 0], [1, 1, 0], [2, 2, 0]], dtype=float))
+    out = render_ascii(line, "xy", width=12, height=6)
+    assert any(ch != " " for row in out.split("\n")[1:-1] for ch in row[1:-1])
+
+
+def test_render_respects_fixed_bounds():
+    mesh = square_mesh()
+    wide = render_ascii(
+        mesh, "xy", width=20, height=8,
+        bounds=np.array([[-10, -10, 0], [10, 10, 0]]),
+    )
+    # Geometry crammed into the middle of a much larger frame: the
+    # corners stay blank.
+    rows = wide.split("\n")[1:-1]
+    assert rows[0][1] == " " and rows[-1][-2] == " "
+
+
+def test_render_validation():
+    with pytest.raises(ValueError):
+        render_ascii(square_mesh(), "ww")
+    with pytest.raises(ValueError):
+        render_ascii(square_mesh(), "xy", width=1)
+    with pytest.raises(TypeError):
+        render_ascii("not geometry")  # type: ignore[arg-type]
+
+
+def test_planes_select_axes():
+    mesh = square_mesh()  # flat in z
+    xz = render_ascii(mesh, "xz", width=10, height=6)
+    # All density collapses onto one row in the xz projection.
+    non_empty_rows = [
+        row for row in xz.split("\n")[1:-1] if any(c != " " for c in row[1:-1])
+    ]
+    assert len(non_empty_rows) == 1
