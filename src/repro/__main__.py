@@ -9,11 +9,40 @@ Usage::
     python -m repro taxonomy                  # Figure 1 classification
     python -m repro export <engine|propfan> <dir> [steps] [resolution]
     python -m repro info <engine|propfan|path-to-store> [time_index]
+    python -m repro trace <cmd> [--out run.json] [--workers N]
+                                [--dataset engine|propfan] [--timeline]
+    python -m repro stats <cmd> [--workers N] [--dataset engine|propfan]
+                                [--prometheus]
+
+``trace`` runs one command on a small simulated cluster and exports a
+Chrome ``trace_event`` JSON (open in Perfetto / about:tracing) plus an
+ASCII timeline; ``stats`` prints the unified metrics table (cache hit
+rate, prefetch accuracy, latency histograms).  ``<cmd>`` is a registered
+command name or one of the aliases iso, vortex, pathlines, cutplane.
 """
 
 from __future__ import annotations
 
 import sys
+
+#: one-line usage per verb, shown for ``<verb> --help``.
+USAGE = {
+    "report": "python -m repro report [fig6 fig14 ...] [--json FILE]",
+    "figures": "python -m repro figures [fig6 ...]",
+    "ablations": "python -m repro ablations [replacement ...]",
+    "commands": "python -m repro commands",
+    "taxonomy": "python -m repro taxonomy",
+    "export": "python -m repro export <engine|propfan> <dir> [steps] [resolution]",
+    "info": "python -m repro info <engine|propfan|path-to-store> [time_index]",
+    "trace": (
+        "python -m repro trace <cmd> [--out run.json] [--workers N] "
+        "[--dataset engine|propfan] [--timeline]"
+    ),
+    "stats": (
+        "python -m repro stats <cmd> [--workers N] "
+        "[--dataset engine|propfan] [--prometheus]"
+    ),
+}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -22,6 +51,9 @@ def main(argv: list[str] | None = None) -> int:
         print(__doc__)
         return 0
     mode, args = argv[0], argv[1:]
+    if mode in USAGE and any(a in {"-h", "--help"} for a in args):
+        print(f"usage: {USAGE[mode]}")
+        return 0
     if mode == "report":
         from .bench.report import main as report_main
 
@@ -110,8 +142,181 @@ def main(argv: list[str] | None = None) -> int:
             level = DatasetStore(name).read_level(time_index)
         print(summarize_dataset(level).format())
         return 0
+    if mode == "trace":
+        return _trace_main(args)
+    if mode == "stats":
+        return _stats_main(args)
     print(f"unknown mode {mode!r}; try --help")
     return 2
+
+
+# -------------------------------------------------------- observability
+#: friendly aliases -> (registry name, default params) on the small
+#: Engine testbed used by the trace/stats verbs.
+def _obs_command_spec(name: str) -> tuple[str, dict]:
+    iso = {"isovalue": -0.3, "scalar": "pressure", "time_range": (0, 1)}
+    vortex = {"threshold": -0.5, "time_range": (0, 1)}
+    pathlines = {
+        "seeds": [[-0.3, -0.2, 0.6], [0.2, 0.3, 0.9], [0.0, -0.4, 1.1]],
+        "time_range": (0, 2),
+        "max_steps": 60,
+    }
+    cutplane = {"normal": (0.0, 0.0, 1.0), "offset": 0.8, "time_range": (0, 1)}
+    aliases = {
+        "iso": ("iso-dataman", iso),
+        "vortex": ("vortex-dataman", vortex),
+        "pathlines": ("pathlines-dataman", pathlines),
+        "cutplane": ("cutplane", cutplane),
+    }
+    if name in aliases:
+        return aliases[name]
+    defaults = {
+        "iso-dataman": iso, "iso-simple": iso, "iso-progressive": iso,
+        "iso-viewer": {**iso, "viewpoint": (0.0, 0.0, -5.0), "max_triangles": 2000},
+        "vortex-dataman": vortex, "vortex-simple": vortex,
+        "vortex-streamed": {**vortex, "batch_cells": 16},
+        "pathlines-dataman": pathlines, "pathlines-simple": pathlines,
+        "cutplane": cutplane, "cutplane-streamed": cutplane,
+        "streaklines": pathlines,
+    }
+    if name in defaults:
+        return name, defaults[name]
+    raise KeyError(name)
+
+
+def _obs_flags(args: list[str]) -> tuple[list[str], dict]:
+    """Split positional args from the --flag[=value] options we accept."""
+    positional: list[str] = []
+    flags: dict[str, str | bool] = {}
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg.startswith("--"):
+            key = arg[2:]
+            if "=" in key:
+                key, value = key.split("=", 1)
+                flags[key] = value
+            elif key in {"timeline", "prometheus"}:
+                flags[key] = True
+            else:
+                if i + 1 >= len(args):
+                    print(f"option --{key} needs a value")
+                    return [], {"error": True}
+                flags[key] = args[i + 1]
+                i += 1
+        else:
+            positional.append(arg)
+        i += 1
+    return positional, flags
+
+
+def _obs_session(dataset_name: str, n_workers: int):
+    from .bench.calibration import paper_cluster, paper_costs
+    from .core.session import ViracochaSession
+    from .synth import build_engine, build_propfan
+
+    builders = {"engine": build_engine, "propfan": build_propfan}
+    if dataset_name not in builders:
+        raise KeyError(dataset_name)
+    dataset = builders[dataset_name](base_resolution=4, n_timesteps=2)
+    return ViracochaSession(
+        dataset,
+        cluster_config=paper_cluster(n_workers),
+        costs=paper_costs(),
+        trace=True,
+    )
+
+
+def _parse_workers(flags: dict) -> int | None:
+    raw = flags.get("workers", 2)
+    try:
+        n = int(raw)
+    except ValueError:
+        n = 0
+    if n < 1:
+        print(f"--workers must be a positive integer, got {raw!r}")
+        return None
+    return n
+
+
+def _trace_main(args: list[str]) -> int:
+    positional, flags = _obs_flags(args)
+    if flags.get("error") or not positional:
+        print(f"usage: {USAGE['trace']}")
+        return 2
+    try:
+        command, params = _obs_command_spec(positional[0])
+    except KeyError:
+        print(f"unknown command {positional[0]!r}; try `python -m repro commands`")
+        return 2
+    n_workers = _parse_workers(flags)
+    if n_workers is None:
+        return 2
+    try:
+        session = _obs_session(str(flags.get("dataset", "engine")), n_workers)
+    except KeyError:
+        print("dataset must be engine or propfan")
+        return 2
+    result = session.run(command, params=params)
+    from .obs import write_chrome_trace
+    from .viz.ascii import render_timeline
+
+    out = str(flags.get("out", "run.json"))
+    doc = write_chrome_trace(out, session.tracer, session.trace)
+    kinds = sorted({s.kind for s in result.spans})
+    print(
+        f"{command}: {len(result.spans)} spans ({', '.join(kinds)}) "
+        f"across nodes {sorted({s.node for s in result.spans})}"
+    )
+    print(f"wrote {len(doc['traceEvents'])} trace events to {out}")
+    if flags.get("timeline"):
+        print()
+        print(render_timeline(result.spans))
+    return 0
+
+
+def _stats_main(args: list[str]) -> int:
+    positional, flags = _obs_flags(args)
+    if flags.get("error") or not positional:
+        print(f"usage: {USAGE['stats']}")
+        return 2
+    try:
+        command, params = _obs_command_spec(positional[0])
+    except KeyError:
+        print(f"unknown command {positional[0]!r}; try `python -m repro commands`")
+        return 2
+    n_workers = _parse_workers(flags)
+    if n_workers is None:
+        return 2
+    try:
+        session = _obs_session(str(flags.get("dataset", "engine")), n_workers)
+    except KeyError:
+        print("dataset must be engine or propfan")
+        return 2
+    # Cold pass then warm pass, so cache-hit and prefetch metrics show
+    # the DMS actually doing something (the paper's §7 methodology).
+    session.run(command, params=params)
+    result = session.run(command, params=params)
+    if flags.get("prometheus"):
+        print(session.metrics.render_prometheus(), end="")
+        return 0
+    agg = session.scheduler.aggregate_dms_stats()
+    print(f"== {command} on {flags.get('dataset', 'engine')} "
+          f"({n_workers} workers, cold + warm pass) ==")
+    print(f"cache hit rate:    {agg.hit_rate:.1%} "
+          f"(l1 {agg.hits_l1}, l2 {agg.hits_l2}, miss {agg.misses})")
+    print(f"prefetch accuracy: {agg.prefetch_accuracy:.1%} "
+          f"({agg.prefetches_useful}/{agg.prefetches_issued} useful, "
+          f"{agg.prefetches_dropped} dropped)")
+    print(f"bytes loaded:      {agg.bytes_loaded}")
+    for worker in session.scheduler.workers:
+        desc = worker.proxy.prefetcher.describe()
+        extra = ", ".join(f"{k}={v}" for k, v in desc.items() if k != "name")
+        print(f"  worker {worker.worker_id} prefetcher: {desc['name']}"
+              + (f" ({extra})" if extra else ""))
+    print()
+    print(session.metrics.format_table())
+    return 0
 
 
 if __name__ == "__main__":

@@ -58,6 +58,7 @@ class Scheduler:
         dms_config: DMSConfig | None = None,
         server: DataManagerServer | None = None,
         trace=None,
+        tracer=None,
     ):
         self.env = env
         self.cluster = cluster
@@ -67,6 +68,7 @@ class Scheduler:
         self.dms_config = dms_config or DMSConfig()
         self.server = server or DataManagerServer()
         self.trace = trace
+        self.tracer = tracer  #: optional repro.obs.SpanTracer
         self.mailbox = Mailbox(env, name="scheduler")
         self.tcp = SimTCPChannel(cluster)
         self.mpi = SimMPIChannel(cluster, account="other")
@@ -74,10 +76,11 @@ class Scheduler:
         for wid, node in enumerate(cluster.worker_nodes):
             proxy = DataProxy(
                 env, cluster, node, self.server, source,
-                config=self.dms_config, trace=trace,
+                config=self.dms_config, trace=trace, tracer=tracer,
             )
             self.workers.append(
-                Worker(env, cluster, node, proxy, source, wid, trace=trace)
+                Worker(env, cluster, node, proxy, source, wid,
+                       trace=trace, tracer=tracer)
             )
         self.history: list[RunRecord] = []
         from collections import Counter, defaultdict
@@ -176,6 +179,7 @@ class Scheduler:
         client_mailbox: Mailbox,
         request_id: int,
         command_kwargs: dict[str, Any] | None = None,
+        parent_span=None,
     ) -> Generator[Event, None, RunRecord]:
         """Process body: execute one command end to end."""
         if not 1 <= group_size <= len(self.workers):
@@ -199,11 +203,21 @@ class Scheduler:
                 self.env.now, 0, "command-start",
                 request=request_id, command=name, workers=list(worker_ids),
             )
+        cspan = None
+        if self.tracer is not None:
+            cspan = self.tracer.begin(
+                "command", name=name, node=sched_node.node_id,
+                parent=parent_span, request=request_id,
+                workers=list(worker_ids), group_size=group_size,
+            )
         try:
             record = yield from self._run_on_group(
-                command, name, params, worker_ids, client_mailbox, request_id, record
+                command, name, params, worker_ids, client_mailbox, request_id,
+                record, command_span=cspan,
             )
         finally:
+            if cspan is not None:
+                self.tracer.end(cspan)
             self.release_group(worker_ids)
         return record
 
@@ -216,6 +230,7 @@ class Scheduler:
         client_mailbox: Mailbox,
         request_id: int,
         record: RunRecord,
+        command_span=None,
     ) -> Generator[Event, None, RunRecord]:
         group_size = len(worker_ids)
         sched_node = self.cluster.scheduler_node
@@ -246,7 +261,8 @@ class Scheduler:
         procs = [
             self.env.process(
                 worker.execute(
-                    command, ctx, assignment, idx, request_id, client_mailbox
+                    command, ctx, assignment, idx, request_id, client_mailbox,
+                    parent_span=command_span,
                 ),
                 name=f"worker{idx}-{name}",
             )
@@ -267,12 +283,20 @@ class Scheduler:
                 nbytes=0,
                 final=True,
             )
+            fspan = None
+            if self.tracer is not None:
+                fspan = self.tracer.begin(
+                    "stream-packet", name="final", node=master.node.node_id,
+                    parent=command_span, nbytes=0, final=True,
+                )
             yield from self.tcp.send(master.node, final, client_mailbox)
+            if fspan is not None:
+                self.tracer.end(fspan)
         else:
             # Collect partials at the master worker over the fabric.
             for share in shares[1:]:
                 yield from group[share.worker_index].send_share_to_master(
-                    share, request_id, master_mailbox
+                    share, request_id, master_mailbox, parent_span=command_span
                 )
             collected = [shares[0].payloads]
             for _ in shares[1:]:
@@ -280,8 +304,17 @@ class Scheduler:
                 assert isinstance(message, WorkerDone)
                 collected.append(message.payload)
             total_nbytes = sum(s.nbytes for s in shares)
+            mspan = None
+            if self.tracer is not None:
+                mspan = self.tracer.begin(
+                    "merge", name=name, node=master.node.node_id,
+                    parent=command_span, nbytes=total_nbytes,
+                    n_shares=len(shares),
+                )
             yield from master.node.compute(self.costs.merge_per_byte * total_nbytes)
             merged = command.merge(collected)
+            if mspan is not None:
+                self.tracer.end(mspan)
             record.merged = merged
             final = ResultPacket(
                 request_id=request_id,
@@ -291,7 +324,15 @@ class Scheduler:
                 nbytes=total_nbytes,
                 final=True,
             )
+            fspan = None
+            if self.tracer is not None:
+                fspan = self.tracer.begin(
+                    "stream-packet", name="final", node=master.node.node_id,
+                    parent=command_span, nbytes=total_nbytes, final=True,
+                )
             yield from self.tcp.send(master.node, final, client_mailbox)
+            if fspan is not None:
+                self.tracer.end(fspan)
 
         record.t_end = self.env.now
         self.history.append(record)

@@ -49,6 +49,18 @@ class CommandResult:
     breakdown: dict[str, float]  #: compute/read/send/other seconds (workers)
     dms: dict[str, Any]
     strategy_decisions: dict[str, int]
+    #: spans recorded during this run (repro.obs.Span), in begin order.
+    spans: list[Any] = field(default_factory=list)
+    #: session metrics snapshot taken right after this run.
+    metrics: dict[str, Any] = field(default_factory=dict)
+    #: the session's SpanTracer (shared across runs; None if disabled).
+    tracer: Any = None
+
+    def span_kinds(self) -> set:
+        return {s.kind for s in self.spans}
+
+    def spans_of_kind(self, kind: str) -> list:
+        return [s for s in self.spans if s.kind == kind]
 
     @property
     def breakdown_fractions(self) -> dict[str, float]:
@@ -95,6 +107,7 @@ class ViracochaSession:
         registry: CommandRegistry | None = None,
         adaptive_loading: bool = True,
         trace: bool = False,
+        observe: bool = True,
     ):
         self.source: BlockSource = (
             SyntheticSource(dataset)
@@ -112,8 +125,18 @@ class ViracochaSession:
             registry = default_registry()
         server = DataManagerServer(AdaptiveSelector(adaptive=adaptive_loading))
         from ..des.trace import TraceRecorder
+        from ..obs import MetricsRegistry, SpanTracer
 
         self.trace = TraceRecorder(enabled=True) if trace else None
+        #: hierarchical span tracer (repro.obs); on by default, layered
+        #: over the flat recorder when ``trace=True``.
+        self.tracer = SpanTracer(
+            recorder=self.trace,
+            clock=lambda: self.env.now,
+            enabled=observe,
+        )
+        #: unified metrics registry; DMS statistics publish into it.
+        self.metrics = MetricsRegistry()
         self.scheduler = Scheduler(
             self.env,
             self.cluster,
@@ -123,6 +146,7 @@ class ViracochaSession:
             dms_config=dms_config,
             server=server,
             trace=self.trace,
+            tracer=self.tracer,
         )
         self.client = VisualizationClient(self.env)
         self.n_workers = config.n_workers
@@ -145,6 +169,12 @@ class ViracochaSession:
         breakdown_before = self._worker_breakdown()
         stats_before = self._dms_snapshot()
         t_submit = self.env.now
+        span_mark = self.tracer.mark()
+        session_span = self.tracer.begin(
+            "session", name=f"run-{command}",
+            node=self.cluster.scheduler_node.node_id,
+            request=request_id, command=command,
+        )
 
         def submit():
             # Client → scheduler request over TCP (charged on the link,
@@ -158,12 +188,14 @@ class ViracochaSession:
                 self.client.mailbox,
                 request_id,
                 command_kwargs=command_kwargs,
+                parent_span=session_span,
             )
             return record
 
         proc = self.env.process(submit(), name=f"run-{command}")
         self.env.run(until=proc)
         self.env.run(until=done)
+        self.tracer.end(session_span)
 
         breakdown_after = self._worker_breakdown()
         stats_after = self._dms_snapshot()
@@ -171,14 +203,18 @@ class ViracochaSession:
         final = self.client.final_time
         if final is None:  # pragma: no cover - defensive
             raise RuntimeError(f"command {command!r} produced no final packet")
+        total_runtime = final - t_submit
+        latency = (first - t_submit) if first is not None else total_runtime
+        packet_times = [p.time - t_submit for p in self.client.packets]
+        self._record_run_metrics(command, total_runtime, latency, packet_times)
         return CommandResult(
             command=command,
             params=params,
             group_size=group_size,
-            total_runtime=final - t_submit,
-            latency=(first - t_submit) if first is not None else final - t_submit,
+            total_runtime=total_runtime,
+            latency=latency,
             n_packets=len(self.client.packets),
-            packet_times=[p.time - t_submit for p in self.client.packets],
+            packet_times=packet_times,
             geometry=self.client.merged_geometry(),
             payloads=list(self.client.payloads),
             breakdown={
@@ -186,9 +222,53 @@ class ViracochaSession:
             },
             dms=self._diff_stats(stats_before, stats_after),
             strategy_decisions=dict(self.scheduler.server.selector.decisions),
+            spans=self.tracer.since(span_mark),
+            metrics=self.metrics.snapshot(),
+            tracer=self.tracer if self.tracer.enabled else None,
         )
 
     # ------------------------------------------------------------ helpers
+    #: packet inter-arrival buckets [sim s] — streaming cadences sit in
+    #: the millisecond range, well below command latencies.
+    _INTERARRIVAL_BUCKETS = (
+        0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+        0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    )
+
+    def _record_run_metrics(
+        self,
+        command: str,
+        total_runtime: float,
+        latency: float,
+        packet_times: list[float],
+    ) -> None:
+        """Feed one finished run into the unified metrics registry."""
+        m = self.metrics
+        m.counter(
+            "viracocha_commands_total", {"command": command},
+            help="commands executed by this session",
+        ).inc()
+        m.histogram(
+            "viracocha_command_runtime_seconds",
+            help="submit-to-final-package runtime [sim s]",
+        ).observe(total_runtime)
+        m.histogram(
+            "viracocha_command_latency_seconds",
+            help="submit-to-first-data latency [sim s]",
+        ).observe(latency)
+        interarrival = m.histogram(
+            "viracocha_packet_interarrival_seconds",
+            buckets=self._INTERARRIVAL_BUCKETS,
+            help="gaps between result packets at the client [sim s]",
+        )
+        for earlier, later in zip(packet_times, packet_times[1:]):
+            interarrival.observe(later - earlier)
+        for worker in self.scheduler.workers:
+            worker.proxy.stats.publish(m, node=str(worker.node.node_id))
+        self.scheduler.aggregate_dms_stats().publish(m, node="all")
+        self.scheduler.server.publish_metrics(m)
+        self.scheduler.server.selector.publish_metrics(m)
+
     def _worker_breakdown(self) -> dict[str, float]:
         agg = NodeBreakdown()
         for node in self.cluster.worker_nodes:
@@ -231,6 +311,12 @@ class ViracochaSession:
             return []
         self.client.reset()
         t_submit = self.env.now
+        span_mark = self.tracer.mark()
+        batch_span = self.tracer.begin(
+            "session", name=f"run-concurrent[{len(requests)}]",
+            node=self.cluster.scheduler_node.node_id,
+            n_requests=len(requests),
+        )
         submissions = []
         for spec in requests:
             command = spec["command"]
@@ -244,7 +330,8 @@ class ViracochaSession:
                 request = CommandRequest(request_id, command, params)
                 yield from self.cluster.client_link.transfer(request.nbytes)
                 record = yield from self.scheduler.run_command(
-                    command, params, group_size, self.client.mailbox, request_id
+                    command, params, group_size, self.client.mailbox, request_id,
+                    parent_span=batch_span,
                 )
                 return record
 
@@ -264,6 +351,12 @@ class ViracochaSession:
             from ..viz.mesh import TriangleMesh
 
             meshes = [p for p in payloads if isinstance(p, TriangleMesh)]
+            self._record_run_metrics(
+                command,
+                final - t_submit,
+                (first if first is not None else final) - t_submit,
+                [p.time - t_submit for p in packets],
+            )
             results.append(
                 CommandResult(
                     command=command,
@@ -280,8 +373,17 @@ class ViracochaSession:
                     strategy_decisions=dict(
                         self.scheduler.server.selector.decisions
                     ),
+                    tracer=self.tracer if self.tracer.enabled else None,
                 )
             )
+        self.tracer.end(batch_span)
+        # Spans are shared by the whole batch (per-command attribution
+        # is ambiguous under concurrency); every result sees the slice.
+        batch_spans = self.tracer.since(span_mark)
+        batch_metrics = self.metrics.snapshot()
+        for result in results:
+            result.spans = batch_spans
+            result.metrics = batch_metrics
         return results
 
     def clear_caches(self) -> None:

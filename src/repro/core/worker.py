@@ -47,6 +47,7 @@ class Worker:
         source: BlockSource,
         worker_id: int,
         trace=None,
+        tracer=None,
     ):
         self.env = env
         self.cluster = cluster
@@ -55,6 +56,7 @@ class Worker:
         self.source = source
         self.worker_id = worker_id
         self.trace = trace
+        self.tracer = tracer  #: optional repro.obs.SpanTracer
         self.mailbox = Mailbox(env, name=f"worker{worker_id}")
         self.tcp = SimTCPChannel(cluster)
         self.mpi = SimMPIChannel(cluster)
@@ -79,9 +81,18 @@ class Worker:
         worker_index: int,
         request_id: int,
         client_mailbox: Mailbox,
+        parent_span=None,
     ) -> Generator[Event, None, WorkerShare]:
         """Process body: run one assignment to completion."""
         share = WorkerShare(worker_index=worker_index)
+        tracer = self.tracer
+        wspan = None
+        if tracer is not None:
+            wspan = tracer.begin(
+                "worker", name=f"{command.name}[{worker_index}]",
+                node=self.node.node_id, parent=parent_span,
+                request=request_id, worker=worker_index,
+            )
         gen = command.run(ctx, assignment, worker_index)
         # Optional §9 progress feedback: one tiny packet per block load.
         report_progress = bool(ctx.params.get("progress"))
@@ -98,10 +109,20 @@ class Worker:
                 break
             op_result = None
             if isinstance(op, Load):
+                lspan = None
+                if tracer is not None:
+                    lspan = tracer.begin(
+                        "load", name=str(op.item), node=self.node.node_id,
+                        parent=wspan, dms=command.use_dms,
+                    )
                 if command.use_dms:
-                    op_result = yield from self.proxy.request(op.item)
+                    op_result = yield from self.proxy.request(
+                        op.item, parent_span=lspan
+                    )
                 else:
                     op_result = yield from self._load_direct(op.item)
+                if tracer is not None:
+                    tracer.end(lspan)
                 if report_progress and progress_total:
                     progress_done = min(progress_done + 1, progress_total)
                     update = ProgressUpdate(
@@ -112,10 +133,25 @@ class Worker:
                     )
                     yield from self.tcp.send(self.node, update, client_mailbox)
             elif isinstance(op, Compute):
+                cspan = None
+                if tracer is not None:
+                    cspan = tracer.begin(
+                        "compute", name=command.name, node=self.node.node_id,
+                        parent=wspan, cost=op.cost,
+                    )
                 op_result = op.fn() if op.fn is not None else None
                 yield from self.node.compute(op.cost)
+                if tracer is not None:
+                    tracer.end(cspan)
             elif isinstance(op, Emit):
                 if command.streaming:
+                    sspan = None
+                    if tracer is not None:
+                        sspan = tracer.begin(
+                            "stream-packet", name=f"packet{share.packets_streamed}",
+                            node=self.node.node_id, parent=wspan,
+                            nbytes=op.nbytes, sequence=share.packets_streamed,
+                        )
                     if ctx.costs.stream_packet_overhead:
                         yield from self.node.compute(ctx.costs.stream_packet_overhead)
                     packet = ResultPacket(
@@ -127,6 +163,8 @@ class Worker:
                     )
                     share.packets_streamed += 1
                     yield from self.tcp.send(self.node, packet, client_mailbox)
+                    if tracer is not None:
+                        tracer.end(sspan)
                     if self.trace is not None:
                         self.trace.record(
                             self.env.now,
@@ -143,10 +181,16 @@ class Worker:
                     self.proxy.prefetch(op.item)
             else:
                 raise TypeError(f"command {command.name!r} yielded unknown op {op!r}")
+        if tracer is not None:
+            tracer.end(
+                wspan, nbytes=share.nbytes,
+                packets_streamed=share.packets_streamed,
+            )
         return share
 
     def send_share_to_master(
-        self, share: WorkerShare, request_id: int, master_mailbox: Mailbox
+        self, share: WorkerShare, request_id: int, master_mailbox: Mailbox,
+        parent_span=None,
     ) -> Generator[Event, None, None]:
         """Transfer this worker's buffered partial result over the fabric."""
         message = WorkerDone(
@@ -155,4 +199,13 @@ class Worker:
             partial_nbytes=share.nbytes,
             payload=share.payloads,
         )
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "stream-packet", name=f"share[{share.worker_index}]",
+                node=self.node.node_id, parent=parent_span,
+                nbytes=share.nbytes, request=request_id, share=True,
+            )
         yield from self.mpi.send(self.node, message, master_mailbox)
+        if span is not None:
+            self.tracer.end(span)

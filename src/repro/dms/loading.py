@@ -151,6 +151,9 @@ class AdaptiveSelector:
             raise ValueError("need at least one loading strategy")
         self.adaptive = adaptive
         self.decisions: dict[str, int] = {s.name: 0 for s in self.strategies}
+        #: fitness scores of the last adaptive decision, by strategy —
+        #: observability into *why* the selector chose what it chose.
+        self.last_fitness: dict[str, float] = {}
 
     def select(self, ctx: LoadContext) -> LoadingStrategy:
         if not self.adaptive:
@@ -159,6 +162,16 @@ class AdaptiveSelector:
             candidates = [s for s in self.strategies if s.available(ctx)]
             if not candidates:
                 raise LookupError(f"no loading strategy available for {ctx.key!r}")
-            chosen = max(candidates, key=lambda s: s.fitness(ctx))
+            self.last_fitness = {s.name: s.fitness(ctx) for s in candidates}
+            chosen = max(candidates, key=lambda s: self.last_fitness[s.name])
         self.decisions[chosen.name] = self.decisions.get(chosen.name, 0) + 1
         return chosen
+
+    def publish_metrics(self, registry) -> None:
+        """Gauge the most recent fitness scores into a registry."""
+        for name, score in sorted(self.last_fitness.items()):
+            registry.gauge(
+                "viracocha_dms_strategy_fitness",
+                {"strategy": name},
+                help="effective-throughput fitness of the last adaptive decision",
+            ).set(score)

@@ -59,6 +59,10 @@ class Prefetcher:
     def reset(self) -> None:
         """Forget learned state (a new investigation session)."""
 
+    def describe(self) -> dict[str, object]:
+        """Observability summary (name + learned-state size, if any)."""
+        return {"name": self.name}
+
 
 class NoPrefetcher(Prefetcher):
     """Prefetching disabled."""
@@ -134,6 +138,10 @@ class MarkovPrefetcher(Prefetcher):
         self._table.clear()
         self._history.clear()
 
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name, "order": self.order, "width": self.width,
+                "n_contexts": self.n_contexts}
+
     def _peek(self, key: Hashable) -> list[Hashable]:
         """Current prediction after ``key`` without recording a transition."""
         if self.order != 1:
@@ -173,6 +181,10 @@ class MarkovOBLPrefetcher(Prefetcher):
     def reset(self) -> None:
         self.markov.reset()
         self.fallbacks = 0
+
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name, "fallbacks": self.fallbacks,
+                "n_contexts": self.markov.n_contexts}
 
 
 class BlockMarkovPrefetcher(Prefetcher):
@@ -267,6 +279,10 @@ class BlockMarkovPrefetcher(Prefetcher):
         self.table.clear()
         self.fallbacks = 0
         self._last_block = None
+
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name, "fallbacks": self.fallbacks,
+                "n_contexts": self.n_contexts, "width": self.width}
 
 
 def make_prefetcher(

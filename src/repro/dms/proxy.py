@@ -68,6 +68,7 @@ class DataProxy:
         config: DMSConfig | None = None,
         prefetcher: Prefetcher | None = None,
         trace=None,
+        tracer=None,
     ):
         self.env = env
         self.cluster = cluster
@@ -86,6 +87,7 @@ class DataProxy:
         self.prefetcher = prefetcher if prefetcher is not None else NoPrefetcher()
         self.stats = DMSStatistics()
         self.trace = trace
+        self.tracer = tracer  #: optional repro.obs.SpanTracer
         self._inflight: dict[int, Event] = {}
         self._inflight_tokens: dict[int, "TransferToken"] = {}
         self._inflight_prefetches = 0
@@ -129,9 +131,17 @@ class DataProxy:
         nbytes: int,
         demand: bool,
         token: "TransferToken | None" = None,
+        parent_span=None,
     ) -> Generator[Event, None, StructuredBlock]:
         """Process body: run one forced load, charging simulated time."""
         self.server.note_request_start(ident)
+        span = None
+        strategy_name: str | None = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "dms-strategy-load", name=str(item), node=self.node.node_id,
+                parent=parent_span, demand=demand, nbytes=nbytes,
+            )
         try:
             if self.config.strategy_query:
                 # Ask the central server which strategy to use (§4.3's
@@ -142,6 +152,7 @@ class DataProxy:
             strategy = self.server.choose_strategy(
                 self._build_context(ident, nbytes)
             )
+            strategy_name = strategy.name
             priority = 0 if demand else 1  # prefetch I/O yields to demand
             if isinstance(strategy, NodeTransferLoad):
                 yield from self.cluster.fabric_transfer(
@@ -180,17 +191,30 @@ class DataProxy:
                     yield from self.node.write_local(spill_bytes)
             return payload
         finally:
+            if span is not None:
+                extra = {"strategy": strategy_name} if strategy_name else {}
+                self.tracer.end(span, **extra)
             self.server.note_request_end(ident)
 
     # ---------------------------------------------------------- request
-    def request(self, item: ItemName) -> Generator[Event, None, StructuredBlock]:
+    def request(
+        self, item: ItemName, parent_span=None
+    ) -> Generator[Event, None, StructuredBlock]:
         """Process body: return the block for ``item`` (demand access)."""
         ident = self.resolver.resolve(item)
+        lookup = None
+        if self.tracer is not None:
+            lookup = self.tracer.begin(
+                "dms-lookup", name=str(item), node=self.node.node_id,
+                parent=parent_span,
+            )
         payload, where = self.cache.get(ident)
         self.stats.record_request(ident, where)
         if where == "l2":
             # Promotion from the disk tier costs a local read.
             yield from self.node.read_local(self.source.modeled_bytes(item))
+        if lookup is not None:
+            self.tracer.end(lookup, where=where)
         if payload is None:
             pending = self._inflight.get(ident)
             if pending is not None:
@@ -206,30 +230,34 @@ class DataProxy:
                 payload, _ = self.cache.get(ident)
                 if payload is None:  # evicted between load and wakeup
                     payload = yield from self._forced_load(
-                        item, ident, self.source.modeled_bytes(item), demand=True
+                        item, ident, self.source.modeled_bytes(item),
+                        demand=True, parent_span=parent_span,
                     )
             else:
                 done = self.env.event()
                 self._inflight[ident] = done
                 try:
                     payload = yield from self._forced_load(
-                        item, ident, self.source.modeled_bytes(item), demand=True
+                        item, ident, self.source.modeled_bytes(item),
+                        demand=True, parent_span=parent_span,
                     )
                 finally:
                     del self._inflight[ident]
                     done.succeed()
-        self._issue_prefetches(item, was_hit=where != "miss")
+        self._issue_prefetches(item, was_hit=where != "miss", parent_span=parent_span)
         return payload
 
     # --------------------------------------------------------- prefetch
-    def _issue_prefetches(self, item: ItemName, was_hit: bool) -> None:
+    def _issue_prefetches(
+        self, item: ItemName, was_hit: bool, parent_span=None
+    ) -> None:
         suggestions = self.prefetcher.observe(item, was_hit)
         if not self.config.enable_prefetch:
             return
         for suggestion in suggestions:
-            self.prefetch(suggestion)
+            self.prefetch(suggestion, parent_span=parent_span)
 
-    def prefetch(self, item: ItemName) -> bool:
+    def prefetch(self, item: ItemName, parent_span=None) -> bool:
         """Start a background load of ``item``; returns True if issued.
 
         Used both by the system prefetcher and for code prefetching,
@@ -257,6 +285,12 @@ class DataProxy:
         self._inflight_prefetches += 1
 
         def runner():
+            pspan = None
+            if self.tracer is not None:
+                pspan = self.tracer.begin(
+                    "dms-prefetch", name=str(item), node=self.node.node_id,
+                    parent=parent_span,
+                )
             try:
                 yield from self._forced_load(
                     item,
@@ -264,8 +298,11 @@ class DataProxy:
                     self.source.modeled_bytes(item),
                     demand=False,
                     token=token,
+                    parent_span=pspan,
                 )
             finally:
+                if pspan is not None:
+                    self.tracer.end(pspan)
                 del self._inflight[ident]
                 del self._inflight_tokens[ident]
                 self._inflight_prefetches -= 1

@@ -77,3 +77,25 @@ class DataManagerServer:
         """Pick a loading strategy for one forced load (counted per call)."""
         self.strategy_queries += 1
         return self.selector.select(ctx)
+
+    # ----------------------------------------------------------- metrics
+    def publish_metrics(self, registry) -> None:
+        """Sync server-side counters into a :class:`MetricsRegistry`.
+
+        Idempotent per state (counters are set to current totals), like
+        :meth:`repro.dms.stats.DMSStatistics.publish`.
+        """
+        registry.counter(
+            "viracocha_dms_strategy_queries_total",
+            help="strategy round-trips answered by the data manager server",
+        ).set(self.strategy_queries)
+        registry.gauge(
+            "viracocha_fileserver_reliability",
+            help="observed fileserver health in [0, 1]",
+        ).set(self.fileserver_reliability)
+        for strategy, count in sorted(self.selector.decisions.items()):
+            registry.counter(
+                "viracocha_dms_strategy_decisions_total",
+                {"strategy": strategy},
+                help="adaptive selector decisions by strategy",
+            ).set(count)

@@ -5,15 +5,29 @@ statistical unit of the DMS that records various information of the
 system behavior" (§4.2).  This module also tracks prefetch usefulness
 (how many misses prefetching eliminated — paper Fig. 14 reports up to
 95 % of cache misses removed for pathlines).
+
+The counters here are the *source of truth*; :meth:`DMSStatistics.publish`
+syncs them into a :class:`repro.obs.MetricsRegistry` so per-node and
+global views unify under one metric namespace (``viracocha_dms_*``).
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Hashable
 
 __all__ = ["DMSStatistics"]
+
+#: the only cache-lookup outcomes proxies report; anything else is
+#: normalized to a miss (defensive: an unknown tier label must never
+#: inflate prefetch usefulness).
+_HIT_TIERS = frozenset({"l1", "l2"})
+_KNOWN_WHERE = frozenset({"l1", "l2", "miss"})
+
+#: default cap on the rolling request log (ring buffer) so long
+#: pathline runs don't grow memory linearly with every block request.
+DEFAULT_REQUEST_LOG_CAP = 10_000
 
 
 @dataclass
@@ -31,11 +45,31 @@ class DMSStatistics:
     prefetches_dropped: int = 0
     #: demand misses that at least overlapped an in-flight prefetch.
     misses_covered: int = 0
-    request_log: list[Hashable] = field(default_factory=list)
+    #: most recent request keys, capped at ``max_request_log`` entries.
+    request_log: deque = None  # type: ignore[assignment]
     _pending_prefetched: set = field(default_factory=set)
+    max_request_log: int = DEFAULT_REQUEST_LOG_CAP
+
+    def __post_init__(self) -> None:
+        if self.max_request_log < 1:
+            raise ValueError(
+                f"max_request_log must be >= 1, got {self.max_request_log}"
+            )
+        if self.request_log is None:
+            self.request_log = deque(maxlen=self.max_request_log)
+        elif not isinstance(self.request_log, deque) or (
+            self.request_log.maxlen != self.max_request_log
+        ):
+            self.request_log = deque(self.request_log, maxlen=self.max_request_log)
 
     # --------------------------------------------------------- recording
+    @staticmethod
+    def normalize_where(where: str) -> str:
+        """Map a cache-lookup outcome onto {'l1', 'l2', 'miss'}."""
+        return where if where in _KNOWN_WHERE else "miss"
+
     def record_request(self, key: Hashable, where: str) -> None:
+        where = self.normalize_where(where)
         self.requests += 1
         self.request_log.append(key)
         if where == "l1":
@@ -44,7 +78,10 @@ class DMSStatistics:
             self.hits_l2 += 1
         else:
             self.misses += 1
-        if key in self._pending_prefetched and where != "miss":
+        # Prefetch usefulness counts only on genuine cache hits; a miss
+        # that overlapped an in-flight prefetch is credited separately
+        # via record_inflight_hit.
+        if key in self._pending_prefetched and where in _HIT_TIERS:
             self.prefetches_useful += 1
             self._pending_prefetched.discard(key)
 
@@ -113,3 +150,58 @@ class DMSStatistics:
         self.prefetches_dropped += other.prefetches_dropped
         self.misses_covered += other.misses_covered
         self.request_log.extend(other.request_log)
+
+    # ---------------------------------------------------------- metrics
+    def publish(self, registry, node: str = "all") -> None:
+        """Sync these cumulative counters into a metrics registry.
+
+        Safe to call repeatedly (idempotent per state): counters are
+        *set* to the current totals rather than incremented, gauges
+        carry the derived rates.  ``node`` labels the series so one
+        registry holds every proxy's view next to the global merge.
+        """
+        labels = {"node": node}
+        registry.counter(
+            "viracocha_dms_requests_total", labels,
+            help="block requests seen by the DMS",
+        ).set(self.requests)
+        for tier, value in (("l1", self.hits_l1), ("l2", self.hits_l2)):
+            registry.counter(
+                "viracocha_dms_hits_total", {**labels, "tier": tier},
+                help="cache hits by tier",
+            ).set(value)
+        registry.counter(
+            "viracocha_dms_misses_total", labels, help="cache misses",
+        ).set(self.misses)
+        registry.counter(
+            "viracocha_dms_bytes_loaded_total", labels,
+            help="bytes brought in by forced loads",
+        ).set(self.bytes_loaded)
+        for strategy, count in sorted(self.loads_by_strategy.items()):
+            registry.counter(
+                "viracocha_dms_loads_total", {**labels, "strategy": strategy},
+                help="forced loads by loading strategy",
+            ).set(count)
+        registry.counter(
+            "viracocha_dms_prefetches_issued_total", labels,
+            help="prefetch loads started",
+        ).set(self.prefetches_issued)
+        registry.counter(
+            "viracocha_dms_prefetches_useful_total", labels,
+            help="prefetches later hit by demand",
+        ).set(self.prefetches_useful)
+        registry.counter(
+            "viracocha_dms_prefetches_dropped_total", labels,
+            help="prefetch suggestions not issued",
+        ).set(self.prefetches_dropped)
+        registry.counter(
+            "viracocha_dms_misses_covered_total", labels,
+            help="demand misses that overlapped an in-flight prefetch",
+        ).set(self.misses_covered)
+        registry.gauge(
+            "viracocha_dms_hit_rate", labels, help="cache hit rate",
+        ).set(self.hit_rate)
+        registry.gauge(
+            "viracocha_dms_prefetch_accuracy", labels,
+            help="useful / issued prefetches",
+        ).set(self.prefetch_accuracy)

@@ -1,0 +1,48 @@
+"""Unified observability layer: spans, metrics, and trace export.
+
+The measurement substrate for every performance claim in this repo:
+
+* :mod:`repro.obs.spans` — hierarchical timed intervals over the
+  simulated cluster (session -> command -> worker -> load/compute/
+  merge/stream-packet, plus the DMS's lookup/strategy-load/prefetch);
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  fixed-bucket histograms into which the DMS statistics publish;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  Perfetto / ``about:tracing``), JSONL event logs, and a
+  Prometheus-style text exposition.
+
+``ViracochaSession`` wires all three up by default and attaches the
+populated tracer and a metrics snapshot to every ``CommandResult``.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    render_prometheus,
+)
+from .spans import NULL_SPAN, Span, SpanTracer
+from .export import (
+    to_chrome_trace,
+    to_jsonl_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "render_prometheus",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl_records",
+    "write_jsonl",
+]

@@ -1,0 +1,214 @@
+"""Hierarchical spans: timestamped intervals with parent/child links.
+
+The flat :class:`~repro.des.trace.TraceRecorder` answers "what happened
+when"; spans answer "what was *inside* what".  A :class:`SpanTracer`
+records intervals following the taxonomy
+
+    session -> command -> worker -> {load, compute, merge, stream-packet}
+    load    -> {dms-lookup, dms-strategy-load}
+    dms-prefetch (background; causally linked, not contained)
+
+so exported timelines (Chrome ``trace_event`` JSON, ASCII Gantt) show
+per-node lanes and the per-component breakdown the paper's evaluation
+is built on (Figs. 6-15).
+
+The tracer is *layered on* the existing recorder: every begin/end is
+mirrored as a ``span-begin`` / ``span-end`` :class:`TraceEvent` when a
+recorder is attached, so code that greps the flat log keeps working.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..des.trace import TraceRecorder
+
+__all__ = ["Span", "SpanTracer", "NULL_SPAN"]
+
+#: spans emitted by the instrumented Viracocha stack (for docs/tests).
+SPAN_KINDS = (
+    "session",
+    "command",
+    "worker",
+    "load",
+    "compute",
+    "merge",
+    "stream-packet",
+    "dms-lookup",
+    "dms-strategy-load",
+    "dms-prefetch",
+)
+
+
+@dataclass
+class Span:
+    """One timed interval on one simulated node."""
+
+    span_id: int
+    kind: str
+    name: str
+    node: int
+    t_start: float
+    t_end: float | None = None
+    parent_id: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.t_end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.t_end is None:
+            raise ValueError(f"span {self.span_id} ({self.kind}) not finished")
+        return self.t_end - self.t_start
+
+    def contains(self, other: "Span") -> bool:
+        """Temporal containment (closed interval; zero-duration allowed)."""
+        if self.t_end is None or other.t_end is None:
+            return False
+        return self.t_start <= other.t_start and other.t_end <= self.t_end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = f"{self.t_end:.4f}" if self.t_end is not None else "…"
+        return (
+            f"Span(#{self.span_id} {self.kind}:{self.name!r} node={self.node} "
+            f"[{self.t_start:.4f}, {end}] parent={self.parent_id})"
+        )
+
+
+#: shared sentinel returned by a disabled tracer; ending it is a no-op.
+NULL_SPAN = Span(span_id=-1, kind="null", name="", node=-1, t_start=0.0, t_end=0.0)
+
+
+class SpanTracer:
+    """Collects :class:`Span` records; optionally mirrors to a recorder.
+
+    ``clock`` supplies default timestamps (usually ``lambda: env.now``);
+    explicit ``t=`` arguments override it.  When ``enabled`` is False
+    every call is a cheap no-op returning :data:`NULL_SPAN`.
+    """
+
+    def __init__(
+        self,
+        recorder: TraceRecorder | None = None,
+        clock: Callable[[], float] | None = None,
+        enabled: bool = True,
+    ):
+        self.recorder = recorder
+        self.clock = clock
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._by_id: dict[int, Span] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------ record
+    def _now(self, t: float | None) -> float:
+        if t is not None:
+            return t
+        if self.clock is not None:
+            return self.clock()
+        return 0.0
+
+    def begin(
+        self,
+        kind: str,
+        name: str | None = None,
+        node: int = 0,
+        parent: "Span | None" = None,
+        t: float | None = None,
+        **attrs: Any,
+    ) -> Span:
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(
+            span_id=self._next_id,
+            kind=kind,
+            name=name if name is not None else kind,
+            node=node,
+            t_start=self._now(t),
+            parent_id=parent.span_id if parent is not None and parent is not NULL_SPAN else None,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        if self.recorder is not None:
+            self.recorder.record(
+                span.t_start, node, "span-begin",
+                span=span.span_id, span_kind=kind, name=span.name,
+                parent=span.parent_id,
+            )
+        return span
+
+    def end(self, span: Span, t: float | None = None, **attrs: Any) -> Span:
+        if not self.enabled or span is NULL_SPAN:
+            return span
+        if span.t_end is not None:
+            raise ValueError(f"span {span.span_id} ({span.kind}) already ended")
+        span.t_end = self._now(t)
+        if span.t_end < span.t_start:
+            raise ValueError(
+                f"span {span.span_id} ends at {span.t_end} before start {span.t_start}"
+            )
+        span.attrs.update(attrs)
+        if self.recorder is not None:
+            self.recorder.record(
+                span.t_end, span.node, "span-end",
+                span=span.span_id, span_kind=span.kind,
+            )
+        return span
+
+    @contextmanager
+    def span(
+        self, kind: str, name: str | None = None, node: int = 0,
+        parent: Span | None = None, **attrs: Any,
+    ) -> Iterator[Span]:
+        """Synchronous convenience wrapper (not for use across DES yields)."""
+        s = self.begin(kind, name, node, parent, **attrs)
+        try:
+            yield s
+        finally:
+            self.end(s)
+
+    # ------------------------------------------------------------- query
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def get(self, span_id: int) -> Span | None:
+        return self._by_id.get(span_id)
+
+    def of_kind(self, kind: str) -> list[Span]:
+        return [s for s in self.spans if s.kind == kind]
+
+    def kinds(self) -> set[str]:
+        return {s.kind for s in self.spans}
+
+    def nodes(self) -> list[int]:
+        return sorted({s.node for s in self.spans})
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def finished(self) -> list[Span]:
+        return [s for s in self.spans if s.t_end is not None]
+
+    # ------------------------------------------------- per-run slicing
+    def mark(self) -> int:
+        """Position marker; pair with :meth:`since` to slice one run."""
+        return len(self.spans)
+
+    def since(self, mark: int) -> list[Span]:
+        return self.spans[mark:]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._by_id.clear()

@@ -1,9 +1,14 @@
-"""Terminal rendering of extracted geometry.
+"""Terminal rendering of extracted geometry and run timelines.
 
 A minimal stand-in for the paper's Figures 4/5 screenshots: orthographic
 projection of a triangle mesh (or polyline set) onto a coordinate plane,
 rasterized as a character-density image.  Useful for eyeballing results
 in examples and headless environments.
+
+Also hosts :func:`render_timeline`: an ASCII Gantt of one simulated run
+(one lane per node, load/compute/merge/stream spans as characters) fed
+by the :mod:`repro.obs` span tracer — the terminal twin of the Chrome
+``trace_event`` export.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ import numpy as np
 from .mesh import TriangleMesh
 from .polyline import PolylineSet
 
-__all__ = ["render_ascii"]
+__all__ = ["render_ascii", "render_timeline", "TIMELINE_GLYPHS"]
 
 _AXES = {"xy": (0, 1), "xz": (0, 2), "yz": (1, 2)}
 _RAMP = " .:-=+*#%@"
@@ -69,3 +74,80 @@ def render_ascii(
     rows.reverse()
     frame = "+" + "-" * width + "+"
     return "\n".join([frame, *(f"|{row}|" for row in rows), frame])
+
+
+# ----------------------------------------------------------- timelines
+#: span kind -> glyph, in *ascending paint priority*: later entries
+#: overwrite earlier ones where spans overlap in a cell, so fine-grained
+#: activity (loads, computes, streams) shows through coarse envelopes.
+TIMELINE_GLYPHS = {
+    "session": ".",
+    "command": "-",
+    "worker": "=",
+    "dms-prefetch": "p",
+    "dms-strategy-load": "l",
+    "dms-lookup": "?",
+    "load": "L",
+    "compute": "C",
+    "merge": "M",
+    "stream-packet": "S",
+}
+
+
+def render_timeline(
+    spans,
+    width: int = 72,
+    kinds=None,
+    node_labels: dict[int, str] | None = None,
+) -> str:
+    """ASCII Gantt chart: one lane per node, one glyph per span kind.
+
+    ``spans`` is any iterable of :class:`repro.obs.Span` (for example
+    ``CommandResult.spans`` or a whole ``SpanTracer``); unfinished spans
+    are skipped.  ``kinds`` restricts the chart to a subset of span
+    kinds (default: everything in :data:`TIMELINE_GLYPHS`).
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    done = [s for s in spans if s.t_end is not None]
+    if kinds is not None:
+        kinds = set(kinds)
+        done = [s for s in done if s.kind in kinds]
+    done = [s for s in done if s.kind in TIMELINE_GLYPHS]
+    if not done:
+        return "(no finished spans)"
+    t0 = min(s.t_start for s in done)
+    t1 = max(s.t_end for s in done)
+    span_t = max(t1 - t0, 1e-12)
+    priority = {kind: i for i, kind in enumerate(TIMELINE_GLYPHS)}
+    done.sort(key=lambda s: priority[s.kind])
+    nodes = sorted({s.node for s in done})
+    lanes = {node: [" "] * width for node in nodes}
+    lane_priority = {node: [-1] * width for node in nodes}
+    for s in done:
+        c0 = int((s.t_start - t0) / span_t * (width - 1))
+        c1 = int((s.t_end - t0) / span_t * (width - 1))
+        glyph = TIMELINE_GLYPHS[s.kind]
+        rank = priority[s.kind]
+        lane = lanes[s.node]
+        ranks = lane_priority[s.node]
+        for c in range(c0, c1 + 1):
+            if rank >= ranks[c]:
+                lane[c] = glyph
+                ranks[c] = rank
+    def label(node: int) -> str:
+        if node_labels and node in node_labels:
+            return node_labels[node]
+        return f"node {node}" + (" (sched)" if node == 0 else "")
+    label_w = max(len(label(n)) for n in nodes)
+    lines = [
+        f"t = {t0:.4f} .. {t1:.4f} sim s  "
+        f"({span_t / (width - 1):.4g} s/char)"
+    ]
+    for node in nodes:
+        lines.append(f"{label(node):>{label_w}s} |{''.join(lanes[node])}|")
+    used = sorted({s.kind for s in done}, key=lambda k: priority[k])
+    lines.append(
+        "legend: " + "  ".join(f"{TIMELINE_GLYPHS[k]}={k}" for k in used)
+    )
+    return "\n".join(lines)

@@ -25,7 +25,7 @@ def test_request_accounting():
     assert s.misses == 1
     assert s.hit_rate == pytest.approx(2 / 3)
     assert s.miss_rate == pytest.approx(1 / 3)
-    assert s.request_log == ["a", "b", "c"]
+    assert list(s.request_log) == ["a", "b", "c"]
 
 
 def test_prefetch_usefulness():
@@ -96,7 +96,80 @@ def test_merge_combines_everything():
     assert a.misses == 1
     assert a.loads_by_strategy["fileserver"] == 2
     assert a.bytes_loaded == 30
-    assert a.request_log == ["x", "y"]
+    assert list(a.request_log) == ["x", "y"]
+
+
+def test_request_log_is_ring_buffer():
+    s = DMSStatistics(max_request_log=3)
+    for key in "abcde":
+        s.record_request(key, "miss")
+    assert s.requests == 5  # counters unaffected by the cap
+    assert list(s.request_log) == ["c", "d", "e"]
+
+
+def test_request_log_default_cap():
+    from repro.dms.stats import DEFAULT_REQUEST_LOG_CAP
+
+    s = DMSStatistics()
+    assert s.request_log.maxlen == DEFAULT_REQUEST_LOG_CAP
+    with pytest.raises(ValueError):
+        DMSStatistics(max_request_log=0)
+
+
+def test_merge_respects_ring_cap():
+    a = DMSStatistics(max_request_log=2)
+    b = DMSStatistics()
+    for key in "xyz":
+        b.record_request(key, "l1")
+    a.merge(b)
+    assert list(a.request_log) == ["y", "z"]
+    assert a.requests == 3
+
+
+def test_unknown_where_counts_as_miss():
+    s = DMSStatistics()
+    s.record_request("a", "L1")  # case-sensitive: not a known tier
+    s.record_request("b", "cache")
+    assert s.hits == 0
+    assert s.misses == 2
+    assert DMSStatistics.normalize_where("l2") == "l2"
+    assert DMSStatistics.normalize_where("bogus") == "miss"
+
+
+def test_unknown_where_never_counts_prefetch_useful():
+    # Regression: an unrecognized `where` label used to satisfy the old
+    # `where != "miss"` guard and inflate prefetch usefulness.
+    s = DMSStatistics()
+    s.record_prefetch("x", issued=True)
+    s.record_request("x", "weird-tier")
+    assert s.prefetches_useful == 0
+    assert s.misses == 1
+    # The pending mark survives, so a later genuine hit still counts.
+    s.record_request("x", "l1")
+    assert s.prefetches_useful == 1
+
+
+def test_publish_syncs_registry():
+    from repro.obs import MetricsRegistry
+
+    s = DMSStatistics()
+    s.record_prefetch("x", issued=True)
+    s.record_request("x", "l1")
+    s.record_request("y", "miss")
+    s.record_load("fileserver", 64)
+    reg = MetricsRegistry()
+    s.publish(reg, node="1")
+    s.publish(reg, node="1")  # idempotent: set(), not inc()
+    snap = reg.snapshot()
+    assert snap["viracocha_dms_requests_total"][0]["value"] == 2
+    hits = {
+        e["labels"]["tier"]: e["value"]
+        for e in snap["viracocha_dms_hits_total"]
+    }
+    assert hits == {"l1": 1, "l2": 0}
+    assert snap["viracocha_dms_hit_rate"][0]["value"] == pytest.approx(0.5)
+    assert snap["viracocha_dms_prefetch_accuracy"][0]["value"] == 1.0
+    assert snap["viracocha_dms_bytes_loaded_total"][0]["value"] == 64
 
 
 def test_report_json_roundtrip(tmp_path, capsys):

@@ -1,0 +1,102 @@
+"""CLI tests for the trace/stats verbs and per-verb usage lines."""
+
+import json
+
+import pytest
+
+from repro.__main__ import USAGE, main as cli_main
+
+
+def test_every_documented_verb_has_help(capsys):
+    for verb in USAGE:
+        assert cli_main([verb, "--help"]) == 0, verb
+        out = capsys.readouterr().out
+        assert out.startswith("usage: python -m repro " + verb.split()[0])
+
+
+def test_usage_covers_trace_and_stats():
+    import repro.__main__ as entry
+
+    assert "trace" in USAGE
+    assert "stats" in USAGE
+    assert "python -m repro trace" in entry.__doc__
+    assert "python -m repro stats" in entry.__doc__
+
+
+def test_trace_exports_chrome_json(tmp_path, capsys):
+    out_path = tmp_path / "run.json"
+    assert cli_main(["trace", "iso", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "spans" in out
+    assert str(out_path) in out
+    doc = json.loads(out_path.read_text())
+    cats = {e.get("cat") for e in doc["traceEvents"] if e.get("ph") == "X"}
+    assert cats >= {"load", "compute", "merge", "stream-packet"}
+    lanes = {e["pid"] for e in doc["traceEvents"] if e.get("cat") == "worker"}
+    assert len(lanes) >= 2
+
+
+def test_trace_timeline_flag(tmp_path, capsys):
+    out_path = tmp_path / "run.json"
+    assert cli_main(
+        ["trace", "iso", "--out", str(out_path), "--timeline"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "legend:" in out
+    assert "node 0 (sched)" in out
+
+
+def test_trace_rejects_unknown_command(capsys):
+    assert cli_main(["trace", "nope"]) == 2
+    assert cli_main(["trace"]) == 2
+    assert cli_main(["trace", "iso", "--dataset", "mars"]) == 2
+    assert cli_main(["trace", "iso", "--out"]) == 2  # flag missing value
+
+
+def test_stats_prints_metrics_table(capsys):
+    assert cli_main(["stats", "vortex", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "cache hit rate:" in out
+    assert "prefetch accuracy:" in out
+    assert "viracocha_dms_hit_rate" in out
+    assert "viracocha_command_latency_seconds" in out
+    assert "prefetcher" in out
+
+
+def test_stats_prometheus_exposition(capsys):
+    assert cli_main(["stats", "iso", "--prometheus"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE viracocha_dms_requests_total counter" in out
+    assert "# TYPE viracocha_dms_hit_rate gauge" in out
+    assert "viracocha_command_runtime_seconds_bucket" in out
+
+
+def test_stats_rejects_unknown_command(capsys):
+    assert cli_main(["stats", "nope"]) == 2
+    assert cli_main(["stats"]) == 2
+
+
+def test_workers_flag_validation(capsys):
+    assert cli_main(["trace", "iso", "--workers", "abc"]) == 2
+    assert cli_main(["stats", "iso", "--workers", "0"]) == 2
+    assert "--workers must be a positive integer" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("alias", ["iso", "vortex", "pathlines", "cutplane"])
+def test_aliases_resolve(alias):
+    from repro.__main__ import _obs_command_spec
+    from repro.commands import default_registry
+
+    name, params = _obs_command_spec(alias)
+    assert name in default_registry().names()
+    assert params
+
+
+def test_all_registry_commands_have_obs_defaults():
+    from repro.__main__ import _obs_command_spec
+    from repro.commands import default_registry
+
+    for name in default_registry().names():
+        resolved, params = _obs_command_spec(name)
+        assert resolved == name
+        assert isinstance(params, dict)

@@ -1,0 +1,90 @@
+"""Exporter tests: Chrome trace_event JSON and JSONL records."""
+
+import json
+
+from repro.des.trace import TraceRecorder
+from repro.obs import (
+    SpanTracer,
+    to_chrome_trace,
+    to_jsonl_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _tiny_tracer():
+    recorder = TraceRecorder()
+    tracer = SpanTracer(recorder=recorder)
+    cmd = tracer.begin("command", "iso", node=0, t=0.0)
+    w = tracer.begin("worker", "iso[0]", node=1, parent=cmd, t=0.1)
+    load = tracer.begin("load", "block-0", node=1, parent=w, t=0.1)
+    tracer.end(load, t=0.4)
+    pf = tracer.begin("dms-prefetch", "block-1", node=1, parent=load, t=0.4)
+    tracer.end(pf, t=0.9)
+    tracer.end(w, t=0.6)
+    tracer.end(cmd, t=0.7)
+    recorder.record(0.65, 0, "command-end", command="iso")
+    unfinished = tracer.begin("load", "never-ends", node=2, t=0.7)
+    assert not unfinished.finished
+    return tracer, recorder
+
+
+def test_chrome_trace_structure():
+    tracer, recorder = _tiny_tracer()
+    doc = to_chrome_trace(tracer, recorder)
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    meta = [e for e in events if e["ph"] == "M"]
+    # Four finished spans; the unfinished one is skipped.
+    assert len(complete) == 4
+    assert {e["cat"] for e in complete} == {
+        "command", "worker", "load", "dms-prefetch"
+    }
+    cmd = next(e for e in complete if e["cat"] == "command")
+    assert cmd["ts"] == 0.0 and cmd["dur"] == 700000.0  # 0.7 s in us
+    assert cmd["pid"] == 0 and cmd["tid"] == 0
+    # Prefetch runs on the background thread lane.
+    pf = next(e for e in complete if e["cat"] == "dms-prefetch")
+    assert pf["tid"] == 1
+    # Parent links survive in args.
+    w = next(e for e in complete if e["cat"] == "worker")
+    assert w["args"]["parent_id"] == cmd["args"]["span_id"]
+    # Flat recorder events come through as instants, span mirrors don't.
+    assert [e["name"] for e in instants] == ["command-end"]
+    # Metadata names both nodes and both thread lanes.
+    names = {(e["name"], e["pid"], e["tid"]): e["args"]["name"] for e in meta}
+    assert names[("process_name", 0, 0)] == "node 0 (scheduler)"
+    assert names[("process_name", 1, 0)] == "node 1 (worker)"
+    assert names[("thread_name", 1, 1)] == "prefetch"
+
+
+def test_chrome_trace_node_name_override():
+    tracer, _ = _tiny_tracer()
+    doc = to_chrome_trace(tracer, node_names={0: "master"})
+    meta = [e for e in doc["traceEvents"] if e["name"] == "process_name"]
+    assert {e["args"]["name"] for e in meta if e["pid"] == 0} == {"master"}
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    tracer, recorder = _tiny_tracer()
+    path = tmp_path / "run.json"
+    doc = write_chrome_trace(str(path), tracer, recorder)
+    loaded = json.loads(path.read_text())
+    assert loaded == doc
+
+
+def test_jsonl_records(tmp_path):
+    tracer, recorder = _tiny_tracer()
+    records = list(to_jsonl_records(tracer, recorder))
+    spans = [r for r in records if r["record"] == "span"]
+    events = [r for r in records if r["record"] == "event"]
+    assert len(spans) == 4
+    assert len(events) == 1
+    assert events[0]["kind"] == "command-end"
+    path = tmp_path / "run.jsonl"
+    n = write_jsonl(str(path), tracer, recorder)
+    lines = path.read_text().splitlines()
+    assert n == len(lines) == 5
+    assert all(json.loads(line) for line in lines)

@@ -1,0 +1,116 @@
+"""Unit tests for counters, gauges, histograms and the registry."""
+
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_monotonic():
+    c = Counter("x_total")
+    c.inc()
+    c.inc(2)
+    assert c.value == 3
+    c.set(10)
+    assert c.value == 10
+    with pytest.raises(ValueError):
+        c.set(5)
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("rate")
+    g.set(0.5)
+    g.inc(0.25)
+    g.inc(-0.5)
+    assert g.value == pytest.approx(0.25)
+
+
+def test_histogram_buckets_and_mean():
+    h = Histogram("lat", buckets=[0.1, 1.0, 10.0])
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.n == 5
+    assert h.mean == pytest.approx(56.05 / 5)
+    assert h.counts == [1, 2, 1, 1]  # last bucket is +Inf overflow
+    assert h.cumulative() == [(0.1, 1), (1.0, 3), (10.0, 4), (math.inf, 5)]
+
+
+def test_histogram_needs_buckets():
+    with pytest.raises(ValueError):
+        Histogram("empty", buckets=[])
+
+
+def test_registry_get_or_create_identity():
+    reg = MetricsRegistry()
+    a = reg.counter("req_total", {"node": "1"})
+    b = reg.counter("req_total", {"node": "1"})
+    c = reg.counter("req_total", {"node": "2"})
+    assert a is b
+    assert a is not c
+    assert len(reg) == 2
+    assert reg.names() == ["req_total"]
+    assert len(reg.series("req_total")) == 2
+
+
+def test_registry_type_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("thing")
+    with pytest.raises(TypeError):
+        reg.gauge("thing")
+
+
+def test_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.counter("req_total", {"node": "1"}).inc(4)
+    reg.histogram("lat", buckets=[1.0]).observe(0.5)
+    snap = reg.snapshot()
+    assert snap["req_total"] == [
+        {"labels": {"node": "1"}, "type": "counter", "value": 4}
+    ]
+    (lat,) = snap["lat"]
+    assert lat["type"] == "histogram"
+    assert lat["buckets"] == [1.0]
+    assert lat["counts"] == [1, 0]
+    assert lat["sum"] == 0.5
+    assert lat["count"] == 1
+
+
+def test_prometheus_rendering():
+    reg = MetricsRegistry()
+    reg.counter("req_total", {"node": "1"}, help="requests").inc(3)
+    reg.gauge("hit_rate").set(0.75)
+    reg.histogram("lat", buckets=[0.1, 1.0]).observe(0.5)
+    text = reg.render_prometheus()
+    assert "# HELP req_total requests" in text
+    assert "# TYPE req_total counter" in text
+    assert 'req_total{node="1"} 3' in text
+    assert "# TYPE hit_rate gauge" in text
+    assert "hit_rate 0.75" in text
+    assert 'lat_bucket{le="0.1"} 0' in text
+    assert 'lat_bucket{le="1"} 1' in text
+    assert 'lat_bucket{le="+Inf"} 1' in text
+    assert "lat_sum 0.5" in text
+    assert "lat_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_histogram_with_labels():
+    reg = MetricsRegistry()
+    reg.histogram("lat", buckets=[1.0], labels={"cmd": "iso"}).observe(2.0)
+    text = reg.render_prometheus()
+    assert 'lat_bucket{cmd="iso",le="1"} 0' in text
+    assert 'lat_bucket{cmd="iso",le="+Inf"} 1' in text
+    assert 'lat_sum{cmd="iso"} 2' in text
+
+
+def test_format_table_mentions_everything():
+    reg = MetricsRegistry()
+    reg.counter("req_total", {"node": "all"}).inc(7)
+    reg.histogram("lat", buckets=[1.0]).observe(0.5)
+    table = reg.format_table()
+    assert 'req_total{node="all"}  7' in table
+    assert "lat  (histogram, n=1" in table
+    assert "#" in table  # a bar was drawn

@@ -1,0 +1,84 @@
+"""Tests for the ASCII Gantt run-timeline renderer."""
+
+import pytest
+
+from repro.obs import SpanTracer
+from repro.viz.ascii import TIMELINE_GLYPHS, render_timeline
+
+
+def demo_spans():
+    tracer = SpanTracer()
+    cmd = tracer.begin("command", t=0.0, node=0)
+    w1 = tracer.begin("worker", node=1, parent=cmd, t=0.0)
+    load = tracer.begin("load", node=1, parent=w1, t=0.0)
+    tracer.end(load, t=4.0)
+    compute = tracer.begin("compute", node=1, parent=w1, t=4.0)
+    tracer.end(compute, t=8.0)
+    tracer.end(w1, t=8.0)
+    w2 = tracer.begin("worker", node=2, parent=cmd, t=0.0)
+    tracer.end(w2, t=6.0)
+    merge = tracer.begin("merge", node=0, parent=cmd, t=8.0)
+    tracer.end(merge, t=10.0)
+    tracer.end(cmd, t=10.0)
+    tracer.begin("load", node=3, t=9.0)  # never finished -> skipped
+    return tracer
+
+
+def test_timeline_lanes_and_legend():
+    out = render_timeline(demo_spans(), width=40)
+    lines = out.splitlines()
+    assert lines[0].startswith("t = 0.0000 .. 10.0000")
+    lanes = {line.split("|")[0].strip(): line for line in lines[1:-1]}
+    assert set(lanes) == {"node 0 (sched)", "node 1", "node 2"}
+    # Unfinished node-3 span contributes no lane.
+    assert "node 3" not in out
+    assert lines[-1].startswith("legend:")
+    assert "L=load" in lines[-1] and "M=merge" in lines[-1]
+
+
+def test_timeline_fine_spans_paint_over_envelopes():
+    out = render_timeline(demo_spans(), width=40)
+    node1 = next(l for l in out.splitlines() if "node 1" in l)
+    bar = node1.split("|")[1]
+    # Loads first, computes second; the worker envelope shows only
+    # where nothing finer ran.
+    assert bar.lstrip().startswith("L")
+    assert "C" in bar
+    node0 = next(l for l in out.splitlines() if "node 0" in l)
+    assert "M" in node0.split("|")[1]
+
+
+def test_timeline_kind_filter():
+    out = render_timeline(demo_spans(), kinds={"load"})
+    assert "L" in out
+    assert "C" not in out
+    assert "node 2" not in out  # no loads there
+
+
+def test_timeline_node_labels():
+    out = render_timeline(demo_spans(), node_labels={0: "master"})
+    assert "master |" in out
+    assert "node 0 (sched)" not in out
+
+
+def test_timeline_empty_and_validation():
+    assert render_timeline([]) == "(no finished spans)"
+    tracer = SpanTracer()
+    tracer.begin("load", t=0.0)  # unfinished only
+    assert render_timeline(tracer) == "(no finished spans)"
+    with pytest.raises(ValueError):
+        render_timeline(demo_spans(), width=5)
+
+
+def test_timeline_zero_duration_run():
+    tracer = SpanTracer()
+    s = tracer.begin("stream-packet", t=2.0, node=1)
+    tracer.end(s, t=2.0)
+    out = render_timeline(tracer, width=20)
+    assert TIMELINE_GLYPHS["stream-packet"] in out
+
+
+def test_glyphs_cover_span_taxonomy():
+    from repro.obs.spans import SPAN_KINDS
+
+    assert set(TIMELINE_GLYPHS) == set(SPAN_KINDS)
