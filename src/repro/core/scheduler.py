@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Generator
 
 from ..des.cluster import SimCluster
-from ..des.kernel import AllOf, Environment, Event
+from ..des.kernel import AllOf, AnyOf, Environment, Event, Interrupt
 from ..dms.prefetch import BlockMarkovPrefetcher, SequenceOrder, make_prefetcher
 from ..dms.proxy import DataProxy, DMSConfig
 from ..dms.server import DataManagerServer
@@ -23,9 +23,45 @@ from .channels import Mailbox, SimMPIChannel, SimTCPChannel
 from .commands import Command, CommandContext, CommandRegistry
 from .costs import CostModel, DEFAULT_COSTS
 from .messages import ResultPacket, WorkAssignment, WorkerDone
-from .worker import Worker, WorkerShare
+from .worker import Worker, WorkerShare, WorkerUnavailable
 
-__all__ = ["RunRecord", "Scheduler"]
+__all__ = ["RecoveryPolicy", "RunRecord", "Scheduler", "ShareOutcome"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the scheduler reacts to worker failures and stalls.
+
+    With a policy installed, every share runs under a supervisor that
+    retries crashed or timed-out attempts (backoff in *simulated* time)
+    and reassigns a dead worker's share to a surviving group member.
+    ``None`` (the default on :class:`Scheduler`) keeps the fault-free
+    fast path: a worker failure propagates and fails the command.
+    """
+
+    #: interrupt an attempt running longer than this many simulated
+    #: seconds (None disables assignment timeouts).
+    assignment_timeout: float | None = None
+    #: additional attempts after the first one.
+    max_retries: int = 2
+    #: backoff before retry k is ``retry_backoff * backoff_factor**(k-1)``.
+    retry_backoff: float = 0.05
+    backoff_factor: float = 2.0
+    #: move a dead worker's share to the lowest-id surviving group
+    #: member; False pins shares to their original worker.
+    reassign: bool = True
+
+
+@dataclass
+class ShareOutcome:
+    """What the supervisor concluded about one share of a command."""
+
+    index: int  #: share index within the work group
+    share: WorkerShare | None  #: None when every attempt failed
+    executor: Worker | None  #: worker that produced ``share``
+    attempts: int = 1
+    reassignments: int = 0
+    reason: str = "ok"  #: last failure reason when ``share`` is None
 
 
 @dataclass
@@ -39,6 +75,12 @@ class RunRecord:
     t_end: float = 0.0
     shares: list[WorkerShare] = field(default_factory=list)
     merged: Any = None
+    #: True when the merged result misses at least one share (partial
+    #: results served after unrecoverable worker failures).
+    degraded: bool = False
+    failed_shares: list[int] = field(default_factory=list)
+    retries: int = 0
+    reassignments: int = 0
 
     @property
     def runtime(self) -> float:
@@ -59,6 +101,7 @@ class Scheduler:
         server: DataManagerServer | None = None,
         trace=None,
         tracer=None,
+        recovery: RecoveryPolicy | None = None,
     ):
         self.env = env
         self.cluster = cluster
@@ -69,6 +112,15 @@ class Scheduler:
         self.server = server or DataManagerServer()
         self.trace = trace
         self.tracer = tracer  #: optional repro.obs.SpanTracer
+        #: None = fault-free fast path; a policy turns on supervision.
+        self.recovery = recovery
+        #: session-lifetime recovery counters (published as metrics).
+        self.recovery_stats = {
+            "timeouts": 0,
+            "retries": 0,
+            "reassignments": 0,
+            "lost_shares": 0,
+        }
         self.mailbox = Mailbox(env, name="scheduler")
         self.tcp = SimTCPChannel(cluster)
         self.mpi = SimMPIChannel(cluster, account="other")
@@ -257,22 +309,54 @@ class Scheduler:
             )
             yield from self.mpi.send(sched_node, message, worker.mailbox)
 
-        # Execute all shares concurrently.
-        procs = [
-            self.env.process(
-                worker.execute(
-                    command, ctx, assignment, idx, request_id, client_mailbox,
-                    parent_span=command_span,
-                ),
-                name=f"worker{idx}-{name}",
-            )
-            for idx, (worker, assignment) in enumerate(zip(group, assignments))
-        ]
-        results = yield AllOf(self.env, procs)
-        shares = [results[p] for p in procs]
-        record.shares = shares
+        # Execute all shares concurrently.  With a recovery policy each
+        # share runs under a supervisor (timeout/retry/reassignment);
+        # without one the fault-free fast path is used unchanged.
+        if self.recovery is None:
+            procs = [
+                self.env.process(
+                    worker.execute(
+                        command, ctx, assignment, idx, request_id, client_mailbox,
+                        parent_span=command_span,
+                    ),
+                    name=f"worker{idx}-{name}",
+                )
+                for idx, (worker, assignment) in enumerate(zip(group, assignments))
+            ]
+            results = yield AllOf(self.env, procs)
+            outcomes = [
+                ShareOutcome(index=idx, share=results[p], executor=group[idx])
+                for idx, p in enumerate(procs)
+            ]
+        else:
+            sups = [
+                self.env.process(
+                    self._supervise(
+                        command, ctx, assignment, idx, request_id,
+                        client_mailbox, group, command_span=command_span,
+                    ),
+                    name=f"supervise{idx}-{name}",
+                )
+                for idx, assignment in enumerate(assignments)
+            ]
+            results = yield AllOf(self.env, sups)
+            outcomes = [results[p] for p in sups]
 
-        master = group[0]
+        successful = [o for o in outcomes if o.share is not None]
+        shares = [o.share for o in successful]
+        record.shares = shares
+        record.failed_shares = [o.index for o in outcomes if o.share is None]
+        record.degraded = bool(record.failed_shares)
+        record.retries = sum(max(o.attempts - 1, 0) for o in outcomes)
+        record.reassignments = sum(o.reassignments for o in outcomes)
+        if record.degraded:
+            self._fault_event(
+                "fault-degraded", self.cluster.scheduler_node.node_id,
+                parent=command_span, request=request_id,
+                failed_shares=list(record.failed_shares),
+            )
+
+        master = successful[0].executor if successful else group[0]
         if command.streaming:
             # Workers streamed directly; signal completion to the client.
             final = ResultPacket(
@@ -294,12 +378,13 @@ class Scheduler:
                 self.tracer.end(fspan)
         else:
             # Collect partials at the master worker over the fabric.
-            for share in shares[1:]:
-                yield from group[share.worker_index].send_share_to_master(
-                    share, request_id, master_mailbox, parent_span=command_span
+            for outcome in successful[1:]:
+                yield from outcome.executor.send_share_to_master(
+                    outcome.share, request_id, master_mailbox,
+                    parent_span=command_span,
                 )
-            collected = [shares[0].payloads]
-            for _ in shares[1:]:
+            collected = [successful[0].share.payloads] if successful else []
+            for _ in successful[1:]:
                 message = yield master_mailbox.get()
                 assert isinstance(message, WorkerDone)
                 collected.append(message.payload)
@@ -342,6 +427,157 @@ class Scheduler:
                 request=request_id, command=name,
             )
         return record
+
+    # ---------------------------------------------------------- recovery
+    def _fault_event(self, kind: str, node: int, parent=None, **detail: Any) -> None:
+        """Emit one instantaneous fault-* record to trace and tracer."""
+        if self.trace is not None:
+            self.trace.record(self.env.now, node, kind, **detail)
+        if self.tracer is not None:
+            span = self.tracer.begin(kind, name=kind, node=node, parent=parent, **detail)
+            self.tracer.end(span)
+
+    def _pick_survivor(self, group: list[Worker]) -> Worker | None:
+        """Deterministic reassignment target: lowest-id live group member."""
+        for worker in group:
+            if not worker.crashed:
+                return worker
+        return None
+
+    def _attempt(
+        self,
+        worker: Worker,
+        command: Command,
+        ctx: CommandContext,
+        assignment: Any,
+        idx: int,
+        request_id: int,
+        client_mailbox: Mailbox,
+        command_span=None,
+        attempt: int = 1,
+    ) -> Generator[Event, None, tuple[WorkerShare | None, str]]:
+        """Process body: one execution attempt on ``worker``.
+
+        Returns ``(share, "ok")`` on success, ``(None, reason)`` when
+        the attempt crashed or exceeded the assignment timeout.  The
+        attempt's process failure is always consumed here, so a fault
+        never propagates out of the supervisor.
+        """
+        policy = self.recovery
+        proc = self.env.process(
+            worker.execute(
+                command, ctx, assignment, idx, request_id, client_mailbox,
+                parent_span=command_span,
+            ),
+            name=f"worker{idx}-{command.name}-try{attempt}",
+        )
+        worker._active_proc = proc
+        try:
+            if policy.assignment_timeout is not None:
+                deadline = self.env.timeout(policy.assignment_timeout)
+                yield AnyOf(self.env, [proc, deadline])
+                if not proc.triggered:
+                    self.recovery_stats["timeouts"] += 1
+                    self._fault_event(
+                        "fault-timeout", worker.node.node_id,
+                        parent=command_span, request=request_id, share=idx,
+                        timeout=policy.assignment_timeout,
+                    )
+                    proc.interrupt(("assignment-timeout", idx))
+                    try:
+                        share = yield proc
+                        return share, "ok"  # finished right at the deadline
+                    except (Interrupt, WorkerUnavailable):
+                        return None, "timeout"
+                if proc.ok:
+                    return proc.value, "ok"
+                # Failed in the same timestep the deadline fired; AnyOf
+                # already defused the failure, so classify it here.
+                cause = getattr(proc.value, "cause", None)
+                if isinstance(proc.value, WorkerUnavailable):
+                    return None, "worker-down"
+                reason = cause[0] if isinstance(cause, tuple) and cause else "interrupt"
+                return None, str(reason)
+            share = yield proc
+            return share, "ok"
+        except Interrupt as exc:
+            cause = exc.cause
+            reason = cause[0] if isinstance(cause, tuple) and cause else "interrupt"
+            return None, str(reason)
+        except WorkerUnavailable:
+            return None, "worker-down"
+        finally:
+            if worker._active_proc is proc:
+                worker._active_proc = None
+
+    def _supervise(
+        self,
+        command: Command,
+        ctx: CommandContext,
+        assignment: Any,
+        idx: int,
+        request_id: int,
+        client_mailbox: Mailbox,
+        group: list[Worker],
+        command_span=None,
+    ) -> Generator[Event, None, ShareOutcome]:
+        """Process body: drive one share to completion despite faults.
+
+        Bounded retry with exponential backoff in simulated time; a
+        crashed primary's share moves to the lowest-id surviving group
+        member (when the policy allows reassignment).  Exhausting every
+        attempt yields a ``share=None`` outcome — the command then
+        serves a partial result flagged ``degraded`` instead of hanging.
+        """
+        policy = self.recovery
+        primary = group[idx]
+        reassignments = 0
+        reason = "ok"
+        total_tries = 1 + max(policy.max_retries, 0)
+        for attempt in range(total_tries):
+            if attempt:
+                self.recovery_stats["retries"] += 1
+                self._fault_event(
+                    "fault-retry", primary.node.node_id,
+                    parent=command_span, request=request_id, share=idx,
+                    attempt=attempt + 1, reason=reason,
+                )
+                delay = policy.retry_backoff * (policy.backoff_factor ** (attempt - 1))
+                if delay > 0:
+                    yield self.env.timeout(delay)
+            worker = primary
+            if primary.crashed:
+                worker = self._pick_survivor(group) if policy.reassign else None
+            if worker is None:
+                reason = "no-survivor"
+                continue
+            if worker is not primary:
+                reassignments += 1
+                self.recovery_stats["reassignments"] += 1
+                self._fault_event(
+                    "fault-reassign", worker.node.node_id,
+                    parent=command_span, request=request_id, share=idx,
+                    from_worker=primary.worker_id, to_worker=worker.worker_id,
+                )
+            share, reason = yield from self._attempt(
+                worker, command, ctx, assignment, idx, request_id,
+                client_mailbox, command_span=command_span, attempt=attempt + 1,
+            )
+            if share is not None:
+                return ShareOutcome(
+                    index=idx, share=share, executor=worker,
+                    attempts=attempt + 1, reassignments=reassignments,
+                )
+        self.recovery_stats["lost_shares"] += 1
+        self._fault_event(
+            "fault-giveup", primary.node.node_id,
+            parent=command_span, request=request_id, share=idx,
+            attempts=total_tries, reason=reason,
+        )
+        return ShareOutcome(
+            index=idx, share=None, executor=None,
+            attempts=total_tries, reassignments=reassignments, reason=reason,
+        )
 
     # --------------------------------------------------------- serve loop
     def serve(self, client_mailbox: Mailbox) -> Generator[Event, None, int]:

@@ -28,7 +28,7 @@ from .channels import SimTCPChannel
 from .commands import CommandRegistry
 from .costs import CostModel, DEFAULT_COSTS
 from .messages import CommandRequest, next_request_id
-from .scheduler import Scheduler
+from .scheduler import RecoveryPolicy, Scheduler
 
 __all__ = ["CommandResult", "ViracochaSession"]
 
@@ -55,6 +55,18 @@ class CommandResult:
     metrics: dict[str, Any] = field(default_factory=dict)
     #: the session's SpanTracer (shared across runs; None if disabled).
     tracer: Any = None
+    #: True when the merged result is partial: at least one worker share
+    #: was unrecoverable and the scheduler served what it had.
+    degraded: bool = False
+    #: share indices missing from the merge (empty unless degraded).
+    failed_shares: list[int] = field(default_factory=list)
+    #: recovery actions taken for this run (retries, reassignments).
+    recovery: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """Every planned share made it into the merged result."""
+        return not self.degraded
 
     def span_kinds(self) -> set:
         return {s.kind for s in self.spans}
@@ -108,6 +120,7 @@ class ViracochaSession:
         adaptive_loading: bool = True,
         trace: bool = False,
         observe: bool = True,
+        recovery: RecoveryPolicy | None = None,
     ):
         self.source: BlockSource = (
             SyntheticSource(dataset)
@@ -147,6 +160,7 @@ class ViracochaSession:
             server=server,
             trace=self.trace,
             tracer=self.tracer,
+            recovery=recovery,
         )
         self.client = VisualizationClient(self.env)
         self.n_workers = config.n_workers
@@ -193,7 +207,7 @@ class ViracochaSession:
             return record
 
         proc = self.env.process(submit(), name=f"run-{command}")
-        self.env.run(until=proc)
+        record = self.env.run(until=proc)
         self.env.run(until=done)
         self.tracer.end(session_span)
 
@@ -206,7 +220,10 @@ class ViracochaSession:
         total_runtime = final - t_submit
         latency = (first - t_submit) if first is not None else total_runtime
         packet_times = [p.time - t_submit for p in self.client.packets]
-        self._record_run_metrics(command, total_runtime, latency, packet_times)
+        self._record_run_metrics(
+            command, total_runtime, latency, packet_times,
+            degraded=record.degraded,
+        )
         return CommandResult(
             command=command,
             params=params,
@@ -225,6 +242,12 @@ class ViracochaSession:
             spans=self.tracer.since(span_mark),
             metrics=self.metrics.snapshot(),
             tracer=self.tracer if self.tracer.enabled else None,
+            degraded=record.degraded,
+            failed_shares=list(record.failed_shares),
+            recovery={
+                "retries": record.retries,
+                "reassignments": record.reassignments,
+            },
         )
 
     # ------------------------------------------------------------ helpers
@@ -241,6 +264,7 @@ class ViracochaSession:
         total_runtime: float,
         latency: float,
         packet_times: list[float],
+        degraded: bool = False,
     ) -> None:
         """Feed one finished run into the unified metrics registry."""
         m = self.metrics
@@ -248,6 +272,16 @@ class ViracochaSession:
             "viracocha_commands_total", {"command": command},
             help="commands executed by this session",
         ).inc()
+        if degraded:
+            m.counter(
+                "viracocha_commands_degraded_total", {"command": command},
+                help="commands that served a partial (degraded) result",
+            ).inc()
+        for action, count in sorted(self.scheduler.recovery_stats.items()):
+            m.counter(
+                "viracocha_recovery_actions_total", {"action": action},
+                help="scheduler recovery actions (session totals)",
+            ).set(count)
         m.histogram(
             "viracocha_command_runtime_seconds",
             help="submit-to-final-package runtime [sim s]",
@@ -340,7 +374,7 @@ class ViracochaSession:
 
         results = []
         for command, params, group_size, request_id, done, proc in submissions:
-            self.env.run(until=proc)
+            record = self.env.run(until=proc)
             self.env.run(until=done)
             packets = self.client.packets_by_request.get(request_id, [])
             payloads = self.client.payloads_by_request.get(request_id, [])
@@ -356,6 +390,7 @@ class ViracochaSession:
                 final - t_submit,
                 (first if first is not None else final) - t_submit,
                 [p.time - t_submit for p in packets],
+                degraded=record.degraded,
             )
             results.append(
                 CommandResult(
@@ -374,6 +409,12 @@ class ViracochaSession:
                         self.scheduler.server.selector.decisions
                     ),
                     tracer=self.tracer if self.tracer.enabled else None,
+                    degraded=record.degraded,
+                    failed_shares=list(record.failed_shares),
+                    recovery={
+                        "retries": record.retries,
+                        "reassignments": record.reassignments,
+                    },
                 )
             )
         self.tracer.end(batch_span)

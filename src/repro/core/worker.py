@@ -22,7 +22,11 @@ from .channels import Mailbox, SimMPIChannel, SimTCPChannel
 from .commands import Command, CommandContext, Compute, Emit, Load, Prefetch
 from .messages import ProgressUpdate, ResultPacket, WorkerDone
 
-__all__ = ["Worker", "WorkerShare"]
+__all__ = ["Worker", "WorkerShare", "WorkerUnavailable"]
+
+
+class WorkerUnavailable(RuntimeError):
+    """Raised when an assignment is started on a crashed worker."""
 
 
 @dataclass
@@ -60,6 +64,33 @@ class Worker:
         self.mailbox = Mailbox(env, name=f"worker{worker_id}")
         self.tcp = SimTCPChannel(cluster)
         self.mpi = SimMPIChannel(cluster)
+        #: fault state: a crashed worker aborts its running assignment
+        #: and refuses new ones until :meth:`recover` is called.
+        self.crashed = False
+        self.crash_count = 0
+        #: the Process currently executing this worker's assignment
+        #: (set by the scheduler's supervisor; interrupt target).
+        self._active_proc = None
+
+    # ------------------------------------------------------------ faults
+    def crash(self, reason: str = "fault") -> None:
+        """Kill this worker: abort the running assignment, go offline.
+
+        The in-flight assignment process (if any) is interrupted with a
+        ``("worker-crash", worker_id, reason)`` cause; the scheduler's
+        supervisor observes the failure and retries or reassigns the
+        share.  Cached data survives the crash (the node's memory is
+        simulated state, not a real process image).
+        """
+        self.crashed = True
+        self.crash_count += 1
+        proc = self._active_proc
+        if proc is not None and proc.is_alive:
+            proc.interrupt(cause=("worker-crash", self.worker_id, reason))
+
+    def recover(self, reason: str = "recovered") -> None:
+        """Bring a crashed worker back online (new assignments only)."""
+        self.crashed = False
 
     # ----------------------------------------------------------- loading
     def _load_direct(self, item) -> Generator[Event, None, Any]:
@@ -83,7 +114,16 @@ class Worker:
         client_mailbox: Mailbox,
         parent_span=None,
     ) -> Generator[Event, None, WorkerShare]:
-        """Process body: run one assignment to completion."""
+        """Process body: run one assignment to completion.
+
+        Raises :class:`WorkerUnavailable` when started on a crashed
+        worker; an injected mid-run crash surfaces as an
+        :class:`~repro.des.kernel.Interrupt` failure of the wrapping
+        process.  All spans opened by this attempt are closed on any
+        exit path so a crashed attempt leaves a well-formed trace.
+        """
+        if self.crashed:
+            raise WorkerUnavailable(f"worker {self.worker_id} is down")
         share = WorkerShare(worker_index=worker_index)
         tracer = self.tracer
         wspan = None
@@ -93,6 +133,7 @@ class Worker:
                 node=self.node.node_id, parent=parent_span,
                 request=request_id, worker=worker_index,
             )
+        open_leaf = None  #: child span an abort would leave dangling
         gen = command.run(ctx, assignment, worker_index)
         # Optional §9 progress feedback: one tiny packet per block load.
         report_progress = bool(ctx.params.get("progress"))
@@ -102,90 +143,100 @@ class Worker:
             progress_total = 0
         progress_done = 0
         op_result: Any = None
-        while True:
-            try:
-                op = gen.send(op_result)
-            except StopIteration:
-                break
-            op_result = None
-            if isinstance(op, Load):
-                lspan = None
-                if tracer is not None:
-                    lspan = tracer.begin(
-                        "load", name=str(op.item), node=self.node.node_id,
-                        parent=wspan, dms=command.use_dms,
-                    )
-                if command.use_dms:
-                    op_result = yield from self.proxy.request(
-                        op.item, parent_span=lspan
-                    )
-                else:
-                    op_result = yield from self._load_direct(op.item)
-                if tracer is not None:
-                    tracer.end(lspan)
-                if report_progress and progress_total:
-                    progress_done = min(progress_done + 1, progress_total)
-                    update = ProgressUpdate(
-                        request_id=request_id,
-                        worker_index=worker_index,
-                        completed=progress_done,
-                        total=progress_total,
-                    )
-                    yield from self.tcp.send(self.node, update, client_mailbox)
-            elif isinstance(op, Compute):
-                cspan = None
-                if tracer is not None:
-                    cspan = tracer.begin(
-                        "compute", name=command.name, node=self.node.node_id,
-                        parent=wspan, cost=op.cost,
-                    )
-                op_result = op.fn() if op.fn is not None else None
-                yield from self.node.compute(op.cost)
-                if tracer is not None:
-                    tracer.end(cspan)
-            elif isinstance(op, Emit):
-                if command.streaming:
-                    sspan = None
+        try:
+            while True:
+                try:
+                    op = gen.send(op_result)
+                except StopIteration:
+                    break
+                op_result = None
+                if isinstance(op, Load):
+                    lspan = None
                     if tracer is not None:
-                        sspan = tracer.begin(
-                            "stream-packet", name=f"packet{share.packets_streamed}",
-                            node=self.node.node_id, parent=wspan,
-                            nbytes=op.nbytes, sequence=share.packets_streamed,
+                        lspan = open_leaf = tracer.begin(
+                            "load", name=str(op.item), node=self.node.node_id,
+                            parent=wspan, dms=command.use_dms,
                         )
-                    if ctx.costs.stream_packet_overhead:
-                        yield from self.node.compute(ctx.costs.stream_packet_overhead)
-                    packet = ResultPacket(
-                        request_id=request_id,
-                        worker_index=worker_index,
-                        sequence=share.packets_streamed,
-                        payload=op.payload,
-                        nbytes=op.nbytes,
-                    )
-                    share.packets_streamed += 1
-                    yield from self.tcp.send(self.node, packet, client_mailbox)
+                    if command.use_dms:
+                        op_result = yield from self.proxy.request(
+                            op.item, parent_span=lspan
+                        )
+                    else:
+                        op_result = yield from self._load_direct(op.item)
                     if tracer is not None:
-                        tracer.end(sspan)
-                    if self.trace is not None:
-                        self.trace.record(
-                            self.env.now,
-                            self.node.node_id,
-                            "stream",
-                            request=request_id,
+                        tracer.end(lspan)
+                        open_leaf = None
+                    if report_progress and progress_total:
+                        progress_done = min(progress_done + 1, progress_total)
+                        update = ProgressUpdate(
+                            request_id=request_id,
+                            worker_index=worker_index,
+                            completed=progress_done,
+                            total=progress_total,
+                        )
+                        yield from self.tcp.send(self.node, update, client_mailbox)
+                elif isinstance(op, Compute):
+                    cspan = None
+                    if tracer is not None:
+                        cspan = open_leaf = tracer.begin(
+                            "compute", name=command.name, node=self.node.node_id,
+                            parent=wspan, cost=op.cost,
+                        )
+                    op_result = op.fn() if op.fn is not None else None
+                    yield from self.node.compute(op.cost)
+                    if tracer is not None:
+                        tracer.end(cspan)
+                        open_leaf = None
+                elif isinstance(op, Emit):
+                    if command.streaming:
+                        sspan = None
+                        if tracer is not None:
+                            sspan = open_leaf = tracer.begin(
+                                "stream-packet", name=f"packet{share.packets_streamed}",
+                                node=self.node.node_id, parent=wspan,
+                                nbytes=op.nbytes, sequence=share.packets_streamed,
+                            )
+                        if ctx.costs.stream_packet_overhead:
+                            yield from self.node.compute(ctx.costs.stream_packet_overhead)
+                        packet = ResultPacket(
+                            request_id=request_id,
+                            worker_index=worker_index,
+                            sequence=share.packets_streamed,
+                            payload=op.payload,
                             nbytes=op.nbytes,
                         )
+                        share.packets_streamed += 1
+                        yield from self.tcp.send(self.node, packet, client_mailbox)
+                        if tracer is not None:
+                            tracer.end(sspan)
+                            open_leaf = None
+                        if self.trace is not None:
+                            self.trace.record(
+                                self.env.now,
+                                self.node.node_id,
+                                "stream",
+                                request=request_id,
+                                nbytes=op.nbytes,
+                            )
+                    else:
+                        share.payloads.append(op.payload)
+                        share.nbytes += op.nbytes
+                elif isinstance(op, Prefetch):
+                    if command.use_dms:
+                        self.proxy.prefetch(op.item)
                 else:
-                    share.payloads.append(op.payload)
-                    share.nbytes += op.nbytes
-            elif isinstance(op, Prefetch):
-                if command.use_dms:
-                    self.proxy.prefetch(op.item)
-            else:
-                raise TypeError(f"command {command.name!r} yielded unknown op {op!r}")
-        if tracer is not None:
-            tracer.end(
-                wspan, nbytes=share.nbytes,
-                packets_streamed=share.packets_streamed,
-            )
+                    raise TypeError(
+                        f"command {command.name!r} yielded unknown op {op!r}"
+                    )
+        finally:
+            if tracer is not None:
+                if open_leaf is not None and open_leaf.t_end is None:
+                    tracer.end(open_leaf, aborted=True)
+                if wspan is not None and wspan.t_end is None:
+                    tracer.end(
+                        wspan, nbytes=share.nbytes,
+                        packets_streamed=share.packets_streamed,
+                    )
         return share
 
     def send_share_to_master(

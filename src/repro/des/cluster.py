@@ -174,6 +174,30 @@ class SimCluster:
     def worker_nodes(self) -> list[SimNode]:
         return self.nodes[1:]
 
+    def links(self) -> dict[str, Link]:
+        """Every link by name: shared media plus per-node scratch disks.
+
+        The lookup table :mod:`repro.faults` uses to target degradation
+        and loss episodes ("fileserver", "fabric", "client", "disk<N>").
+        """
+        table = {
+            "fileserver": self.fileserver,
+            "fabric": self.fabric,
+            "client": self.client_link,
+        }
+        for node in self.nodes:
+            table[node.local_disk.name] = node.local_disk
+        return table
+
+    def link(self, name: str) -> Link:
+        """Look up one link by its :meth:`links` name."""
+        try:
+            return self.links()[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown link {name!r}; known: {sorted(self.links())}"
+            ) from None
+
     def read_fileserver(
         self, node: SimNode, nbytes: int, priority: int = 0, token=None
     ) -> Generator[Event, None, None]:

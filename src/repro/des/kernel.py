@@ -338,6 +338,30 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    # -- external hooks ------------------------------------------------
+    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn()`` at absolute simulated time ``time``.
+
+        The injection hook used by :mod:`repro.faults`: fault episodes
+        are applied from inside the event calendar, so they interleave
+        deterministically with regular simulation events (FIFO seq
+        order at equal timestamps, like every other event).
+        """
+        if time < self._now:
+            raise ValueError(f"call_at({time}) is in the past (now={self._now})")
+        evt = Event(self)
+        evt._triggered = True
+        evt._ok = True
+        evt.callbacks.append(lambda _e: fn())
+        self._schedule(evt, delay=time - self._now)
+        return evt
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn()`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, fn)
+
     # -- scheduling ----------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         heapq.heappush(self._queue, (self._now + delay, self._seq, event))

@@ -51,6 +51,10 @@ class LinkStats:
     bytes_sent: int = 0
     busy_time: float = 0.0
     wait_time: float = 0.0
+    #: transfers that hit an injected fault (drop/delay episode).
+    faulted: int = 0
+    #: extra seconds charged by injected faults (retransmits, jitter).
+    fault_delay: float = 0.0
 
 
 class Link:
@@ -89,10 +93,40 @@ class Link:
         self.name = name
         self._wire = Resource(env, capacity=streams)
         self.stats = LinkStats()
+        #: bandwidth multiplier in (0, 1]; fault episodes lower it.
+        self._degradation = 1.0
+        #: optional fault hook ``fn(nbytes) -> extra_delay_seconds``;
+        #: installed by :mod:`repro.faults` during lossy-link episodes.
+        self.fault_hook = None
+
+    # ----------------------------------------------------- fault hooks
+    @property
+    def effective_bandwidth(self) -> float:
+        """Current throughput after any injected degradation."""
+        return self.bandwidth * self._degradation
+
+    @property
+    def degradation(self) -> float:
+        return self._degradation
+
+    def degrade(self, factor: float) -> None:
+        """Throttle the link to ``factor`` of nominal bandwidth.
+
+        Models a slow-disk / congested-WAN episode; ``factor`` is
+        clamped away from zero so a degraded link still drains and the
+        simulation always terminates.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degradation factor must be in (0, 1], got {factor}")
+        self._degradation = max(factor, 1e-3)
+
+    def restore(self) -> None:
+        """End a degradation episode (back to nominal bandwidth)."""
+        self._degradation = 1.0
 
     def transfer_time(self, nbytes: int) -> float:
-        """Unloaded duration of a transfer of ``nbytes``."""
-        return self.latency + nbytes / self.bandwidth
+        """Unloaded duration of a transfer of ``nbytes`` right now."""
+        return self.latency + nbytes / self.effective_bandwidth
 
     def transfer(
         self, nbytes: int, priority: int = 0, token: TransferToken | None = None
@@ -108,18 +142,27 @@ class Link:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         t_req = self.env.now
         req = self._wire.request(priority=priority)
-        if token is not None and not req.triggered:
-            escalated = yield AnyOf(self.env, [req, token._event])
-            if not req.triggered:
-                # Boost: abandon the queued slot, re-request at demand
-                # priority, and wait normally.
-                self._wire.cancel(req)
-                req = self._wire.request(priority=0)
-        if not req.processed:
-            yield req
+        # The wire slot is released on every exit path, including an
+        # Interrupt thrown while queued (worker crash / assignment
+        # timeout): a leaked slot would wedge every later transfer.
         try:
+            if token is not None and not req.triggered:
+                escalated = yield AnyOf(self.env, [req, token._event])
+                if not req.triggered:
+                    # Boost: abandon the queued slot, re-request at demand
+                    # priority, and wait normally.
+                    self._wire.cancel(req)
+                    req = self._wire.request(priority=0)
+            if not req.processed:
+                yield req
             self.stats.wait_time += self.env.now - t_req
             duration = self.transfer_time(nbytes)
+            if self.fault_hook is not None:
+                extra = float(self.fault_hook(nbytes))
+                if extra > 0.0:
+                    self.stats.faulted += 1
+                    self.stats.fault_delay += extra
+                    duration += extra
             yield self.env.timeout(duration)
             self.stats.transfers += 1
             self.stats.bytes_sent += nbytes

@@ -31,7 +31,14 @@ __all__ = [
 
 @dataclass(frozen=True)
 class LoadContext:
-    """Everything the fitness functions may consult for one request."""
+    """Everything the fitness functions may consult for one request.
+
+    Bandwidths are the links' *effective* (possibly fault-degraded)
+    values at request time, not the nominal hardware figures — a
+    slow-disk or slow-fileserver episode injected by :mod:`repro.faults`
+    lowers them, and the fitness ranking then steers loads toward the
+    cooperative cache until the episode ends.
+    """
 
     key: Hashable
     nbytes: int
@@ -40,9 +47,9 @@ class LoadContext:
     fileserver_queue: int = 0  #: transfers currently queued at the fileserver
     fabric_queue: int = 0
     concurrent_requesters: int = 1  #: nodes requesting this item right now
-    fileserver_bandwidth: float = 1.0
+    fileserver_bandwidth: float = 1.0  #: effective (degraded) bytes/s
     fileserver_latency: float = 0.0
-    fabric_bandwidth: float = 1.0
+    fabric_bandwidth: float = 1.0  #: effective (degraded) bytes/s
     fabric_latency: float = 0.0
     fileserver_reliability: float = 1.0  #: 0..1; degraded on observed failures
 

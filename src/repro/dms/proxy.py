@@ -107,6 +107,10 @@ class DataProxy:
         return spilled
 
     def _build_context(self, ident: int, nbytes: int) -> LoadContext:
+        # Bandwidths are *effective* values: fault episodes degrade a
+        # link, and the fitness functions should see that degradation so
+        # the selector can route around a slow fileserver (§4.3's
+        # "react on environment changes").
         cfg = self.cluster.config
         return LoadContext(
             key=ident,
@@ -116,9 +120,9 @@ class DataProxy:
             fileserver_queue=self.cluster.fileserver._wire.queue_len,
             fabric_queue=self.cluster.fabric._wire.queue_len,
             concurrent_requesters=self.server.concurrent_requesters(ident),
-            fileserver_bandwidth=cfg.fileserver_bandwidth,
+            fileserver_bandwidth=self.cluster.fileserver.effective_bandwidth,
             fileserver_latency=cfg.fileserver_latency,
-            fabric_bandwidth=cfg.fabric_bandwidth,
+            fabric_bandwidth=self.cluster.fabric.effective_bandwidth,
             fabric_latency=cfg.fabric_latency,
             fileserver_reliability=self.server.fileserver_reliability,
         )
@@ -143,6 +147,12 @@ class DataProxy:
                 parent=parent_span, demand=demand, nbytes=nbytes,
             )
         try:
+            # A stalled server (fault injection) answers nothing until
+            # the stall ends; the proxy blocks rather than losing the
+            # request, so commands still terminate.
+            stall = self.server.stall_extra(self.env.now)
+            if stall > 0.0:
+                yield self.env.timeout(stall)
             if self.config.strategy_query:
                 # Ask the central server which strategy to use (§4.3's
                 # "additional communication for every load operation").
@@ -210,11 +220,13 @@ class DataProxy:
             )
         payload, where = self.cache.get(ident)
         self.stats.record_request(ident, where)
-        if where == "l2":
-            # Promotion from the disk tier costs a local read.
-            yield from self.node.read_local(self.source.modeled_bytes(item))
-        if lookup is not None:
-            self.tracer.end(lookup, where=where)
+        try:
+            if where == "l2":
+                # Promotion from the disk tier costs a local read.
+                yield from self.node.read_local(self.source.modeled_bytes(item))
+        finally:
+            if lookup is not None and lookup.t_end is None:
+                self.tracer.end(lookup, where=where)
         if payload is None:
             pending = self._inflight.get(ident)
             if pending is not None:

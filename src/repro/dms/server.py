@@ -38,6 +38,12 @@ class DataManagerServer:
         #: ("react on environment changes like ... file server
         #: failures", §4.3).
         self.fileserver_reliability = 1.0
+        #: simulated time until which the server is stalled (fault
+        #: injection): proxies wait out the stall before each strategy
+        #: query, so a wedged central component shows up as load latency
+        #: rather than as lost requests.
+        self.stalled_until = 0.0
+        self.stall_waits = 0
 
     # ---------------------------------------------------- health signals
     def report_fileserver_failure(self) -> None:
@@ -47,6 +53,21 @@ class DataManagerServer:
         self.fileserver_reliability = min(
             1.0, self.fileserver_reliability + 0.1 * (1.0 - self.fileserver_reliability)
         )
+
+    # ----------------------------------------------------------- stalls
+    def stall(self, now: float, duration: float) -> None:
+        """Wedge the server until ``now + duration`` (fault injection)."""
+        if duration < 0:
+            raise ValueError(f"negative stall duration {duration}")
+        self.stalled_until = max(self.stalled_until, now + duration)
+
+    def stall_extra(self, now: float) -> float:
+        """Seconds a proxy must wait before the server answers."""
+        extra = self.stalled_until - now
+        if extra > 0.0:
+            self.stall_waits += 1
+            return extra
+        return 0.0
 
     # ------------------------------------------------------- registry
     def register_holder(self, ident: int, node: int) -> None:
@@ -93,6 +114,10 @@ class DataManagerServer:
             "viracocha_fileserver_reliability",
             help="observed fileserver health in [0, 1]",
         ).set(self.fileserver_reliability)
+        registry.counter(
+            "viracocha_dms_server_stall_waits_total",
+            help="proxy requests that had to wait out a server stall",
+        ).set(self.stall_waits)
         for strategy, count in sorted(self.selector.decisions.items()):
             registry.counter(
                 "viracocha_dms_strategy_decisions_total",

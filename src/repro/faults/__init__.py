@@ -1,0 +1,43 @@
+"""repro.faults — seeded fault injection for the simulated cluster.
+
+Viracocha runs as a long-lived daemon on shared clusters (§3), so the
+reproduction needs an answer to "what happens when a node dies
+mid-command?".  This package provides it in three pieces:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — a deterministic, seeded
+  schedule of worker crashes, link degradation/loss and DMS-server
+  stalls (all randomness drawn at plan-build time);
+* :class:`FaultInjector` — binds a plan to a live session through the
+  DES calendar, with ``fault-*`` spans and metrics for observability;
+* :func:`run_chaos` / :func:`trace_fingerprint` — the chaos-test
+  harness: same seed ⇒ byte-identical trace, every run terminates,
+  results are complete or flagged degraded.
+
+Recovery itself (timeouts, retries, share reassignment) lives in
+:class:`repro.core.scheduler.RecoveryPolicy`; the injector installs a
+default policy when the session has none.
+"""
+
+from .chaos import (
+    ChaosRun,
+    chaos_session,
+    fault_free_runtime,
+    open_spans,
+    run_chaos,
+    trace_fingerprint,
+)
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosRun",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "chaos_session",
+    "fault_free_runtime",
+    "open_spans",
+    "run_chaos",
+    "trace_fingerprint",
+]

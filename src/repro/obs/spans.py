@@ -39,6 +39,17 @@ SPAN_KINDS = (
     "dms-lookup",
     "dms-strategy-load",
     "dms-prefetch",
+    # fault-injection / recovery instants (zero-duration markers).
+    "fault-crash",
+    "fault-recover",
+    "fault-link",
+    "fault-link-restore",
+    "fault-stall",
+    "fault-timeout",
+    "fault-retry",
+    "fault-reassign",
+    "fault-giveup",
+    "fault-degraded",
 )
 
 

@@ -91,6 +91,18 @@ TIMELINE_GLYPHS = {
     "compute": "C",
     "merge": "M",
     "stream-packet": "S",
+    # fault-injection instants paint on top of everything: a crash or
+    # stall marker must stay visible inside a busy worker lane.
+    "fault-link": "~",
+    "fault-link-restore": "'",
+    "fault-stall": "z",
+    "fault-timeout": "t",
+    "fault-retry": "r",
+    "fault-reassign": "R",
+    "fault-recover": "^",
+    "fault-giveup": "G",
+    "fault-degraded": "D",
+    "fault-crash": "X",
 }
 
 

@@ -91,6 +91,11 @@ class VisualizationClient:
         self._request_done: dict[int, Any] = {}
         self._done_event = None
         self._consumer = None
+        #: packets already merged, keyed (request, worker, sequence) —
+        #: a retried streaming share re-sends packets its first attempt
+        #: already delivered; duplicates must not double the geometry.
+        self._seen: set[tuple[int, int, int]] = set()
+        self.duplicates = 0
 
     # ----------------------------------------------------------- running
     def start_listening(self):
@@ -150,6 +155,12 @@ class VisualizationClient:
                 continue
             if not isinstance(message, ResultPacket):
                 continue
+            if not message.final:
+                key = (message.request_id, message.worker_index, message.sequence)
+                if key in self._seen:
+                    self.duplicates += 1
+                    continue
+                self._seen.add(key)
             n_tri = 0
             if isinstance(message.payload, TriangleMesh):
                 n_tri = message.payload.n_triangles
@@ -185,6 +196,8 @@ class VisualizationClient:
         self.payloads_by_request.clear()
         self.progress.clear()
         self.progress_times.clear()
+        self._seen.clear()
+        self.duplicates = 0
 
     @property
     def first_data_time(self) -> float | None:

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.__main__ import main as cli_main
-from repro import ViracochaSession, build_engine
-from repro.bench import paper_cluster, paper_costs
+from tests.conftest import paper_session
 
 
 # ------------------------------------------------------------------ CLI
@@ -68,11 +67,7 @@ def test_cli_export_usage_errors(capsys):
 
 @pytest.fixture(scope="module")
 def session():
-    return ViracochaSession(
-        build_engine(base_resolution=4, n_timesteps=2),
-        cluster_config=paper_cluster(2),
-        costs=paper_costs(),
-    )
+    return paper_session()
 
 
 def test_unknown_command_raises(session):

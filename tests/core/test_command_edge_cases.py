@@ -2,26 +2,21 @@
 
 import pytest
 
-from repro import ViracochaSession, build_engine
-from repro.bench import paper_cluster, paper_costs
+from tests.conftest import cached_engine, paper_session
 
 
 @pytest.fixture(scope="module")
 def engine():
-    return build_engine(base_resolution=4, n_timesteps=2)
+    return cached_engine(4, 2)
 
 
 def make_session(engine, nw=2):
-    return ViracochaSession(
-        engine, cluster_config=paper_cluster(nw), costs=paper_costs()
-    )
+    return paper_session(engine, nw)
 
 
 def test_more_workers_than_blocks(engine):
     """Workers with empty shares must not break group collection."""
-    session = ViracochaSession(
-        engine, cluster_config=paper_cluster(16), costs=paper_costs()
-    )
+    session = paper_session(engine, 16)
     result = session.run(
         "iso-dataman",
         params={"isovalue": -0.3, "time_range": (0, 1)},

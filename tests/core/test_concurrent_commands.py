@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro import ViracochaSession, build_engine
-from repro.bench import paper_cluster, paper_costs
+from tests.conftest import paper_session
 
 ISO = {"isovalue": -0.3, "scalar": "pressure", "time_range": (0, 1)}
 VORTEX = {"threshold": -0.5, "time_range": (0, 1)}
@@ -11,11 +10,7 @@ VORTEX = {"threshold": -0.5, "time_range": (0, 1)}
 
 @pytest.fixture()
 def session():
-    return ViracochaSession(
-        build_engine(base_resolution=4, n_timesteps=2),
-        cluster_config=paper_cluster(4),
-        costs=paper_costs(),
-    )
+    return paper_session(n_workers=4)
 
 
 def test_concurrent_disjoint_groups_overlap_in_time(session):
@@ -32,11 +27,7 @@ def test_concurrent_disjoint_groups_overlap_in_time(session):
     assert vortex.geometry.n_triangles >= 0
     # Concurrent: the second command must not wait for the first; its
     # completion time is far less than the sum of both serial runtimes.
-    serial = ViracochaSession(
-        build_engine(base_resolution=4, n_timesteps=2),
-        cluster_config=paper_cluster(4),
-        costs=paper_costs(),
-    )
+    serial = paper_session(n_workers=4)
     t_iso = serial.run("iso-dataman", params=ISO, group_size=2).total_runtime
     t_vortex = serial.run("vortex-dataman", params=VORTEX, group_size=2).total_runtime
     assert max(r.total_runtime for r in results) < 0.95 * (t_iso + t_vortex)

@@ -2,20 +2,15 @@
 
 import pytest
 
-from repro import ViracochaSession, build_engine
-from repro.bench import paper_cluster, paper_costs
 from repro.core import ProgressUpdate
+from tests.conftest import paper_session
 
 ISO = {"isovalue": -0.3, "scalar": "pressure", "time_range": (0, 1)}
 
 
 @pytest.fixture()
 def session():
-    return ViracochaSession(
-        build_engine(base_resolution=4, n_timesteps=1),
-        cluster_config=paper_cluster(2),
-        costs=paper_costs(),
-    )
+    return paper_session(n_timesteps=1)
 
 
 def test_progress_update_fraction():

@@ -3,24 +3,18 @@
 import numpy as np
 import pytest
 
-from repro import ViracochaSession, build_engine
 from repro.algorithms import extract_isosurface, extract_vortices
-from repro.bench import paper_cluster, paper_costs
 from repro.dms import DMSConfig
+from tests.conftest import cached_engine, paper_session
 
 
 @pytest.fixture(scope="module")
 def engine():
-    return build_engine(base_resolution=5, n_timesteps=4)
+    return cached_engine(5, 4)
 
 
 def make_session(engine, n_workers=2, **kwargs):
-    return ViracochaSession(
-        engine,
-        cluster_config=paper_cluster(n_workers),
-        costs=paper_costs(),
-        **kwargs,
-    )
+    return paper_session(engine, n_workers, **kwargs)
 
 
 ISO = {"isovalue": -0.3, "scalar": "pressure", "time_range": (0, 2)}

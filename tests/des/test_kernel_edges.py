@@ -1,6 +1,8 @@
 """Additional DES kernel edge-path tests."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.des import AnyOf, Environment, Interrupt, SimulationError
 
@@ -104,6 +106,64 @@ def test_event_defuse_suppresses_crash():
     evt.fail(RuntimeError("ignored"))
     evt.defuse()
     env.run()  # must not raise
+
+
+def test_call_at_validation_and_ordering():
+    env = Environment()
+    with pytest.raises(ValueError, match="past"):
+        env.call_at(-1.0, lambda: None)
+    with pytest.raises(ValueError, match="negative"):
+        env.call_in(-0.5, lambda: None)
+    fired = []
+    env.call_at(2.0, lambda: fired.append("at"))
+    env.call_in(1.0, lambda: fired.append("in"))
+    env.run()
+    assert fired == ["in", "at"]
+    assert env.now == 2.0
+
+
+# The delay grid is deliberately tiny so drawn schedules collide often:
+# the property under test is tie-breaking at *equal* timestamps.
+_DELAY_GRID = st.sampled_from([0.0, 0.25, 0.5, 1.0, 2.0])
+
+
+@given(delays=st.lists(_DELAY_GRID, min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_property_equal_time_callbacks_fire_in_fifo_order(delays):
+    """Events at one timestamp fire in scheduling (seq) order — the
+    determinism contract everything in repro.faults leans on."""
+    env = Environment()
+    fired = []
+    for i, delay in enumerate(delays):
+        env.call_in(delay, lambda i=i: fired.append((env.now, i)))
+    env.run()
+    expected = sorted(range(len(delays)), key=lambda i: (delays[i], i))
+    assert [i for (_t, i) in fired] == expected
+    assert [t for (t, _i) in fired] == sorted(delays)
+
+
+@given(delays=st.lists(_DELAY_GRID, min_size=1, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_property_process_wakeups_fifo_and_replay_identical(delays):
+    """Processes sleeping to the same instant resume in spawn order,
+    and replaying the same schedule yields the identical sequence."""
+
+    def run_once():
+        env = Environment()
+        order = []
+
+        def sleeper(i, delay):
+            yield env.timeout(delay)
+            order.append(i)
+
+        for i, delay in enumerate(delays):
+            env.process(sleeper(i, delay), name=f"s{i}")
+        env.run()
+        return order
+
+    first = run_once()
+    assert first == sorted(range(len(delays)), key=lambda i: (delays[i], i))
+    assert run_once() == first
 
 
 def test_interrupt_during_nested_wait_propagates_to_parent_target():

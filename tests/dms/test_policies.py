@@ -114,6 +114,81 @@ def test_fbr_fraction_validation():
         FBRPolicy(old_fraction=0.0)
 
 
+# ------------------------------------------------- tie-break regressions
+# These pin the *exact* eviction order under ties.  Cache placement —
+# and therefore every simulated timing downstream — depends on victim
+# identity, so a silent tie-break change would shift golden traces and
+# chaos fingerprints without failing any behavioral test.
+
+
+def test_lru_tie_break_regression_insert_order():
+    """Never-accessed keys evict in insertion order, oldest first."""
+    p = LRUPolicy()
+    for k in "abcd":
+        p.on_insert(k)
+    victims = []
+    while len(p):
+        v = p.victim()
+        victims.append(v)
+        p.remove(v)
+    assert victims == ["a", "b", "c", "d"]
+
+
+def test_lfu_tie_break_regression_full_drain():
+    """Equal counts drain in recency order; unequal counts dominate."""
+    p = LFUPolicy()
+    for k in "abcd":
+        p.on_insert(k)
+    p.on_access("a")   # a:2, order b,c,d,a
+    p.on_access("c")   # c:2, order b,d,a,c
+    victims = []
+    while len(p):
+        v = p.victim()
+        victims.append(v)
+        p.remove(v)
+    # b and d tie at count 1 (b older); then a and c tie at 2 (a older).
+    assert victims == ["b", "d", "a", "c"]
+
+
+def test_lfu_reinserted_key_restarts_count_and_recency():
+    p = LFUPolicy()
+    for k in "ab":
+        p.on_insert(k)
+    p.on_access("a")
+    p.remove("a")
+    p.on_insert("a")  # back to count 1, most recent
+    # Tie at count 1: b is older, so b is the victim.
+    assert p.victim() == "b"
+
+
+def test_fbr_old_section_tie_break_regression_lru_order():
+    """Old-section count ties resolve to the least recently used key."""
+    p = FBRPolicy(new_fraction=0.25, old_fraction=0.5)
+    for k in "abcd":
+        p.on_insert(k)  # order a,b,c,d — old section: a,b
+    assert p.victim() == "a"  # counts all 1: LRU of the old section
+    p.on_access("a")  # a:2 and moves to MRU; old section now b,c
+    assert p.victim() == "b"
+
+
+def test_fbr_eviction_sequence_regression():
+    """Golden victim sequence for a fixed access pattern."""
+    p = FBRPolicy(new_fraction=0.25, old_fraction=0.5)
+    for k in "abcde":
+        p.on_insert(k)
+    # b's first access counts (old section) and moves it to MRU; the
+    # second lands in the new section and is free.  a's access counts.
+    for k in ("b", "b", "a"):
+        p.on_access(k)
+    victims = []
+    while len(p):
+        v = p.victim()
+        victims.append(v)
+        p.remove(v)
+    # c,d,e drain at count 1 in LRU order, then b before a (recency).
+    assert victims == ["c", "d", "e", "b", "a"]
+
+
 @given(
     ops=st.lists(
         st.tuples(st.sampled_from(["insert", "access", "evict"]), st.integers(0, 9)),

@@ -5,21 +5,14 @@ import re
 
 import pytest
 
-from repro import ViracochaSession, build_engine
-from repro.bench import paper_cluster, paper_costs
 from repro.obs import to_chrome_trace, write_chrome_trace
+from tests.conftest import paper_session
 
 ISO = {"isovalue": -0.3, "scalar": "pressure", "time_range": (0, 1)}
 
 
 def _session(**kwargs):
-    return ViracochaSession(
-        build_engine(base_resolution=4, n_timesteps=2),
-        cluster_config=paper_cluster(2),
-        costs=paper_costs(),
-        trace=True,
-        **kwargs,
-    )
+    return paper_session(trace=True, **kwargs)
 
 
 @pytest.fixture(scope="module")
