@@ -1,0 +1,213 @@
+"""Wall-clock micro-benchmarks for the batched-tracing kernels.
+
+Each test times the vectorized kernel under pytest-benchmark, measures
+its scalar counterpart once with ``time.perf_counter``, and records the
+speedup ratio in ``extra_info`` (these land in ``BENCH_PR3.json``).
+Only the headline 64-seed pathline benchmark *asserts* a floor (>= 5x);
+the others are informational so CI noise cannot gate the build.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.lambda2 import _middle_eigvalsh3
+from repro.algorithms.pathlines import BatchPathlineTracer, PathlineTracer
+from repro.grids import (
+    CellLocator,
+    MultiBlockDataset,
+    StructuredBlock,
+    TimeSeries,
+    invert_trilinear,
+    invert_trilinear_many,
+    trilinear_map,
+)
+from repro.synth import cartesian_lattice, warp_lattice
+
+
+def rotation(coords, t):
+    x, y = coords[..., 0], coords[..., 1]
+    return np.stack([-y, x, np.zeros_like(x)], axis=-1)
+
+
+def velocity_dataset(t, shape=(9, 9, 9), nblocks=2):
+    blocks = []
+    xs = np.linspace(-2.0, 2.0, nblocks + 1)
+    for bid in range(nblocks):
+        coords = cartesian_lattice(
+            (xs[bid], -2, -2), (xs[bid + 1], 2, 2), shape
+        )
+        b = StructuredBlock(coords, block_id=bid)
+        b.set_field("velocity", rotation(coords, t))
+        blocks.append(b)
+    return MultiBlockDataset(blocks, time=t)
+
+
+def rotation_series(times=(0.0, 8.0)):
+    times = list(times)
+    return TimeSeries(times, lambda i: velocity_dataset(times[i]))
+
+
+def drain(series, tracer, gen):
+    try:
+        request = next(gen)
+        while True:
+            block = series.level(request.time_index)[request.block_id]
+            request = gen.send(block)
+    except StopIteration as stop:
+        return stop.value
+
+
+def circle_seeds(n):
+    rng = np.random.default_rng(1234)
+    r = rng.uniform(0.3, 1.2, n)
+    phi = rng.uniform(0, 2 * np.pi, n)
+    z = rng.uniform(-0.5, 0.5, n)
+    return np.stack([r * np.cos(phi), r * np.sin(phi), z], axis=1)
+
+
+# ------------------------------------------------------------- tracing
+
+
+def test_pathlines_64_seeds_batched_vs_scalar(benchmark):
+    """The PR's headline number: 64-seed tracing must be >= 5x faster."""
+    series = rotation_series()
+    seeds = circle_seeds(64)
+    t0, t1, rtol = 0.0, 0.5 * np.pi, 1e-5
+    handles = series.level(0).handles()
+
+    def scalar_all():
+        out = []
+        for s in seeds:
+            tr = PathlineTracer(handles, series.times, rtol=rtol)
+            out.append(drain(series, tr, tr.trace(s, t0, t1)))
+        return out
+
+    def batched_all():
+        tr = BatchPathlineTracer(handles, series.times, rtol=rtol)
+        return drain(series, tr, tr.trace_many(seeds, t0, t1))
+
+    # Warm both once (locator caches, numpy JIT-ish first-touch costs).
+    ref = scalar_all()
+    got = batched_all()
+    for r, g in zip(ref, got):
+        assert g.termination == r.termination
+
+    start = time.perf_counter()
+    scalar_all()
+    scalar_time = time.perf_counter() - start
+
+    batched = benchmark.pedantic(batched_all, rounds=3, iterations=1)
+    assert len(batched) == 64
+    speedup = scalar_time / benchmark.stats.stats.mean
+    benchmark.extra_info["scalar_seconds"] = scalar_time
+    benchmark.extra_info["speedup_vs_scalar"] = speedup
+    assert speedup >= 5.0, f"batched tracer only {speedup:.1f}x faster"
+
+
+# ---------------------------------------------------- point location
+
+
+def test_locate_many_vs_scalar_loop(benchmark):
+    block = StructuredBlock(
+        warp_lattice(cartesian_lattice((0, 0, 0), (1, 1, 1), (17, 17, 17)), 0.03)
+    )
+    rng = np.random.default_rng(5)
+    pts = rng.uniform(0.02, 0.98, size=(4096, 3))
+
+    locator = CellLocator(block)
+    locator.locate_many(pts[:8])  # build the kd-tree outside the timing
+
+    start = time.perf_counter()
+    scalar_found = sum(locator.locate(p) is not None for p in pts)
+    scalar_time = time.perf_counter() - start
+
+    cells, _rst = benchmark.pedantic(
+        lambda: locator.locate_many(pts), rounds=3, iterations=1
+    )
+    # A few warped-boundary points are genuinely outside the domain;
+    # batch and scalar must agree on how many.
+    assert int((cells[:, 0] >= 0).sum()) == scalar_found
+    benchmark.extra_info["scalar_seconds"] = scalar_time
+    benchmark.extra_info["speedup_vs_scalar"] = (
+        scalar_time / benchmark.stats.stats.mean
+    )
+
+
+def test_invert_trilinear_many_vs_scalar_loop(benchmark):
+    rng = np.random.default_rng(6)
+    base = np.array(
+        [
+            [0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0],
+            [0, 0, 1], [1, 0, 1], [1, 1, 1], [0, 1, 1],
+        ],
+        dtype=float,
+    )
+    n = 8192
+    corners = base[None] + rng.uniform(-0.05, 0.05, size=(n, 8, 3))
+    rst_true = rng.uniform(0.1, 0.9, size=(n, 3))
+    pts = np.array([trilinear_map(corners[i], rst_true[i]) for i in range(n)])
+
+    start = time.perf_counter()
+    for i in range(n):
+        invert_trilinear(corners[i], pts[i])
+    scalar_time = time.perf_counter() - start
+
+    rst, ok = benchmark.pedantic(
+        lambda: invert_trilinear_many(corners, pts), rounds=3, iterations=1
+    )
+    assert ok.all()
+    benchmark.extra_info["scalar_seconds"] = scalar_time
+    benchmark.extra_info["speedup_vs_scalar"] = (
+        scalar_time / benchmark.stats.stats.mean
+    )
+
+
+# ------------------------------------------------------------- lambda2
+
+
+def test_lambda2_analytic_vs_eigvalsh(benchmark):
+    rng = np.random.default_rng(7)
+    g = rng.standard_normal((200_000, 3, 3))
+    s = 0.5 * (g + np.swapaxes(g, -1, -2))
+    q = 0.5 * (g - np.swapaxes(g, -1, -2))
+    m = s @ s + q @ q
+
+    start = time.perf_counter()
+    ref = np.linalg.eigvalsh(m)[..., 1]
+    lapack_time = time.perf_counter() - start
+
+    got = benchmark.pedantic(lambda: _middle_eigvalsh3(m), rounds=3, iterations=1)
+    np.testing.assert_allclose(got, ref, atol=1e-8)
+    benchmark.extra_info["eigvalsh_seconds"] = lapack_time
+    benchmark.extra_info["speedup_vs_eigvalsh"] = (
+        lapack_time / benchmark.stats.stats.mean
+    )
+
+
+# ----------------------------------------------------------- reorder
+
+
+def test_isosurface_view_order_reorder(benchmark):
+    """The argsort/searchsorted reorder inside iter_isosurface_batches."""
+    from repro.algorithms import active_cell_indices, iter_isosurface_batches
+
+    coords = cartesian_lattice((-1, -1, -1), (1, 1, 1), (33, 33, 33))
+    block = StructuredBlock(coords)
+    block.set_field("r", np.linalg.norm(coords, axis=-1))
+    active = active_cell_indices(block, "r", 0.6)
+    rng = np.random.default_rng(8)
+    order = rng.permutation(active)
+
+    def run():
+        return sum(
+            1
+            for _ in iter_isosurface_batches(
+                block, "r", 0.6, batch_cells=512, cell_order=order
+            )
+        )
+
+    n = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert n > 0
+    benchmark.extra_info["active_cells"] = int(len(active))

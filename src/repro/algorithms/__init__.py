@@ -16,8 +16,20 @@ from .lambda2 import (
     lambda2_field,
     lambda2_points,
 )
-from .pathlines import BlockRequest, Pathline, PathlineTracer, trace_pathline
-from .streamlines import StreamlineTracer, trace_streamline
+from .pathlines import (
+    BatchPathlineTracer,
+    BlockRequest,
+    Pathline,
+    PathlineTracer,
+    trace_pathline,
+    trace_pathlines,
+)
+from .streamlines import (
+    BatchStreamlineTracer,
+    StreamlineTracer,
+    trace_streamline,
+    trace_streamlines,
+)
 from .streaklines import Streakline, StreaklineTracer, trace_streakline
 from .contours import contour_lines, cutplane_contours
 from .criteria import (
@@ -50,12 +62,16 @@ __all__ = [
     "iter_vortex_batches",
     "lambda2_field",
     "lambda2_points",
+    "BatchPathlineTracer",
     "BlockRequest",
     "Pathline",
     "PathlineTracer",
     "trace_pathline",
+    "trace_pathlines",
+    "BatchStreamlineTracer",
     "StreamlineTracer",
     "trace_streamline",
+    "trace_streamlines",
     "Streakline",
     "StreaklineTracer",
     "trace_streakline",

@@ -200,12 +200,18 @@ def iter_isosurface_batches(
     if batch_cells < 1:
         raise ValueError(f"batch_cells must be >= 1, got {batch_cells}")
     active = active_cell_indices(block, scalar, isovalue)
-    if cell_order is not None:
-        order_pos = {c: p for p, c in enumerate(np.asarray(cell_order).tolist())}
-        active = np.array(
-            sorted(active.tolist(), key=lambda c: order_pos.get(c, len(order_pos))),
-            dtype=np.int64,
-        )
+    if cell_order is not None and len(active) and len(np.ravel(cell_order)):
+        # Stable reorder of the active cells by their rank in
+        # ``cell_order`` (cells not listed go last, keeping their
+        # relative order; a duplicated cell takes its last listed rank).
+        order = np.asarray(cell_order, dtype=np.int64).ravel()
+        sorter = np.argsort(order, kind="stable")
+        ordered = order[sorter]
+        right = np.searchsorted(ordered, active, side="right")
+        rank = np.full(len(active), len(order), dtype=np.int64)
+        hit = (right > 0) & (ordered[np.maximum(right - 1, 0)] == active)
+        rank[hit] = sorter[right[hit] - 1]
+        active = active[np.argsort(rank, kind="stable")]
     for start in range(0, len(active), batch_cells):
         chunk = active[start : start + batch_cells]
         mesh = extract_block_isosurface(block, scalar, isovalue, cell_indices=chunk)

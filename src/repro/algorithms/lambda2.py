@@ -40,17 +40,70 @@ __all__ = [
 ]
 
 
+def _middle_eigvalsh3(m: np.ndarray) -> np.ndarray:
+    """Middle eigenvalue of symmetric 3x3 tensors ``(..., 3, 3)``.
+
+    Closed-form trigonometric Cardano in the atan2 formulation: the
+    discriminant's sine part is assembled directly from the
+    characteristic-polynomial coefficients (instead of ``sqrt(1-r**2)``
+    from a clipped cosine), which keeps double roots exact instead of
+    splitting them by ``sqrt(eps)``.  A collapse guard snaps a pair
+    whose computed gap is below 1e-5 relative — the magnitude rounding
+    noise can fake for a true multiple root — onto its trace-derived
+    center, which is accurate because the remaining isolated root is
+    well-conditioned; a true gap that small is itself collapsed with
+    error at most half the gap, negligible for a scalar field.
+    One pass of elementwise arithmetic instead of a LAPACK call per
+    tensor.
+    """
+    a00 = m[..., 0, 0]
+    a11 = m[..., 1, 1]
+    a22 = m[..., 2, 2]
+    a01 = m[..., 0, 1]
+    a02 = m[..., 0, 2]
+    a12 = m[..., 1, 2]
+    dd = a01 * a01
+    ee = a12 * a12
+    ff = a02 * a02
+    tr = a00 + a11 + a22
+    c1 = a00 * a11 + a00 * a22 + a11 * a22 - (dd + ee + ff)
+    c0 = a22 * dd + a00 * ee + a11 * ff - a00 * a11 * a22 - 2.0 * a02 * a01 * a12
+    p = tr * tr - 3.0 * c1
+    q = tr * (p - 1.5 * c1) - 13.5 * c0
+    sqrt_p = np.sqrt(np.abs(p))
+    disc = 27.0 * (0.25 * c1 * c1 * (p - c1) + c0 * (q + 6.75 * c0))
+    phi = np.arctan2(np.sqrt(np.abs(disc)), q) / 3.0
+    c = sqrt_p * np.cos(phi)
+    s = sqrt_p * np.sin(phi) / np.sqrt(3.0)
+    base = (tr - c) / 3.0
+    w_max = base + c
+    w_mid = base + s
+    w_min = base - s
+    scale = np.maximum(np.abs(w_max), np.abs(w_min))
+    tol = 1e-5 * scale
+    lo_pair = w_mid - w_min <= tol
+    hi_pair = w_max - w_mid <= tol
+    mid = np.where(
+        lo_pair,
+        0.5 * (tr - w_max),  # lower pair degenerate: w_max is isolated
+        np.where(hi_pair, 0.5 * (tr - w_min), w_mid),
+    )
+    # Triple root: no isolated partner to lean on; the trace is exact.
+    return np.where(lo_pair & hi_pair, tr / 3.0, mid)
+
+
 def lambda2_points(gradients: np.ndarray) -> np.ndarray:
     """λ2 from velocity-gradient tensors ``(..., 3, 3)``.
 
-    Returns the middle (second largest) eigenvalue of S² + Q² per point.
+    Returns the middle (second largest) eigenvalue of S² + Q² per
+    point, via the analytic symmetric-3x3 formula (pinned against
+    ``np.linalg.eigvalsh`` by the test suite).
     """
     g = np.asarray(gradients, dtype=np.float64)
     s = 0.5 * (g + np.swapaxes(g, -1, -2))
     q = 0.5 * (g - np.swapaxes(g, -1, -2))
     m = s @ s + q @ q  # symmetric by construction
-    eig = np.linalg.eigvalsh(m)  # ascending
-    return eig[..., 1]
+    return _middle_eigvalsh3(m)
 
 
 def lambda2_field(block: StructuredBlock, velocity: str = "velocity") -> np.ndarray:

@@ -7,8 +7,10 @@ one particle per release time with the unsteady pathline integrator and
 connecting their positions at ``T`` in release order.
 
 The implementation reuses :class:`~repro.algorithms.pathlines.
-PathlineTracer` (and its block-request protocol), so streaklines work
-both standalone and through the DMS.
+BatchPathlineTracer` (and its block-request protocol), so streaklines
+work both standalone and through the DMS.  All released particles
+advance as ONE batch with per-particle release times, so a block is
+demanded once per super-step no matter how many particles need it.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ import numpy as np
 
 from ..grids.block import BlockHandle
 from ..grids.multiblock import TimeSeries
-from .pathlines import BlockRequest, Pathline, PathlineTracer
+from .pathlines import BatchPathlineTracer, BlockRequest, Pathline
 
 __all__ = ["Streakline", "StreaklineTracer", "trace_streakline"]
 
@@ -54,7 +56,7 @@ class StreaklineTracer:
         times: Sequence[float],
         **tracer_kwargs,
     ):
-        self.tracer = PathlineTracer(handles, times, **tracer_kwargs)
+        self.tracer = BatchPathlineTracer(handles, times, **tracer_kwargs)
         self.times = self.tracer.times
 
     def trace(
@@ -67,8 +69,9 @@ class StreaklineTracer:
         """Generator protocol (like the pathline tracer's).
 
         Releases ``n_particles`` particles at uniform times in
-        ``[t_start, t_observe)`` and integrates each to ``t_observe``.
-        Particles that leave the domain are dropped from the filament.
+        ``[t_start, t_observe)`` and integrates them to ``t_observe``
+        as one batch (each with its own release time).  Particles that
+        leave the domain are dropped from the filament.
         """
         if n_particles < 1:
             raise ValueError(f"n_particles must be >= 1, got {n_particles}")
@@ -78,10 +81,13 @@ class StreaklineTracer:
         if t1 <= t0:
             raise ValueError(f"t_observe ({t1}) must exceed t_start ({t0})")
         releases = np.linspace(t0, t1, n_particles, endpoint=False)
+        seeds = np.broadcast_to(seed, (n_particles, 3))
+        paths: list[Pathline] = yield from self.tracer.trace_many(
+            seeds, t_start=releases, t_end=t1
+        )
         kept_points: list[np.ndarray] = []
         kept_times: list[float] = []
-        for t_release in releases:
-            path: Pathline = yield from self.tracer.trace(seed, t_release, t1)
+        for t_release, path in zip(releases, paths):
             if path.termination == "end_time":
                 kept_points.append(path.points[-1])
                 kept_times.append(float(t_release))

@@ -15,9 +15,14 @@ import numpy as np
 
 from ..grids.block import BlockHandle
 from ..grids.multiblock import MultiBlockDataset
-from .pathlines import BlockRequest, Pathline, PathlineTracer
+from .pathlines import BatchPathlineTracer, BlockRequest, Pathline, PathlineTracer
 
-__all__ = ["StreamlineTracer", "trace_streamline"]
+__all__ = [
+    "BatchStreamlineTracer",
+    "StreamlineTracer",
+    "trace_streamline",
+    "trace_streamlines",
+]
 
 
 class StreamlineTracer(PathlineTracer):
@@ -49,6 +54,35 @@ class StreamlineTracer(PathlineTracer):
         return (yield from self.trace(seed, 0.0, duration))
 
 
+class BatchStreamlineTracer(BatchPathlineTracer):
+    """The batched companion of :class:`StreamlineTracer`.
+
+    All seeds advance together through the vectorized RK45 stages and
+    each frozen-level block is demanded once per super-step.
+    """
+
+    def __init__(
+        self,
+        handles: Sequence[BlockHandle],
+        level_index: int = 0,
+        duration: float = 1.0,
+        **kwargs,
+    ):
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        super().__init__(handles, times=[0.0, duration], **kwargs)
+        self.level_index = level_index
+
+    def _map_request(self, time_index: int, block_id: int):
+        # Both pseudo-time levels map to the same frozen dataset level.
+        return BlockRequest(self.level_index, block_id)
+
+    def trace_steady_many(
+        self, seeds: np.ndarray, duration: float | None = None
+    ) -> Generator[BlockRequest, object, list[Pathline]]:
+        return (yield from self.trace_many(seeds, 0.0, duration))
+
+
 def trace_streamline(
     dataset: MultiBlockDataset,
     seed: np.ndarray,
@@ -58,6 +92,25 @@ def trace_streamline(
     """Serial convenience wrapper over one in-memory time level."""
     tracer = StreamlineTracer(dataset.handles(), duration=duration, **tracer_kwargs)
     gen = tracer.trace_steady(seed, duration)
+    try:
+        request = next(gen)
+        while True:
+            request = gen.send(dataset[request.block_id])
+    except StopIteration as stop:
+        return stop.value
+
+
+def trace_streamlines(
+    dataset: MultiBlockDataset,
+    seeds: np.ndarray,
+    duration: float = 1.0,
+    **tracer_kwargs,
+) -> list[Pathline]:
+    """Batched convenience wrapper: all seeds traced in one pass."""
+    tracer = BatchStreamlineTracer(
+        dataset.handles(), duration=duration, **tracer_kwargs
+    )
+    gen = tracer.trace_steady_many(seeds, duration)
     try:
         request = next(gen)
         while True:

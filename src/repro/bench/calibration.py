@@ -61,7 +61,10 @@ def paper_costs() -> CostModel:
         iso_triangulate_per_cell=7000.0,
         bsp_per_cell=1500.0,
         lambda2_per_cell=6000.0,
-        pathline_sample=1.2e6,
+        # Per velocity sample.  Calibrated for the embedded-RK45 batch
+        # tracer (6 stages/attempt); the old step-doubling RK4 tracer
+        # took ~3x more samples per accepted step, with 1.2e6 here.
+        pathline_sample=3.6e6,
         merge_per_byte=0.02,
         command_setup=2.0e6,
         result_wire_factor=0.2,

@@ -10,9 +10,19 @@ the request stream feeds the Markov(+OBL) prefetcher — "making use of
 the markov prefetcher, and after a learning phase, the data requests
 even of time-dependent particle tracing can be predicted quite well."
 
+Each worker integrates its seed share as ONE particle batch through
+:class:`~repro.algorithms.pathlines.BatchPathlineTracer`: the RK45
+stages advance all of the share's particles together, and every block
+the batch needs is demanded once per super-step (*coalesced* — one
+``Load`` per (time level, block) regardless of how many particles sit
+in it), which both cuts DMS round trips and keeps the request stream
+Markov-learnable.  ``params["tracer"] = "scalar"`` falls back to the
+one-particle-at-a-time reference tracer.
+
 Params: ``seeds`` (list of 3-D points; required), ``t_start`` /
 ``t_end`` (physical times; default full range), ``rtol``,
-``local_cache_blocks``, ``max_steps``, ``prefetch`` override.
+``local_cache_blocks``, ``max_steps``, ``tracer`` ("batched" |
+"scalar"), ``prefetch`` override.
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ from typing import Any
 
 import numpy as np
 
-from ..algorithms.pathlines import PathlineTracer
+from ..algorithms.pathlines import BatchPathlineTracer, PathlineTracer
 from ..dms.items import block_item
 from ..core.commands import Command, CommandContext, Compute, Emit, Load, split_round_robin
 
@@ -58,42 +68,57 @@ class PathlinesDataManCommand(Command):
         return [p for payloads in payload_lists for p in payloads]
 
     def run(self, ctx: CommandContext, assignment: Any, worker_index: int):
+        if not assignment:
+            return
         times = list(ctx.times)
         handles = list(ctx.handles_by_time[0])
         t_start = ctx.params.get("t_start", times[0])
         t_end = ctx.params.get("t_end", times[-1])
-        tracer = PathlineTracer(
-            handles,
-            times,
+        mode = str(ctx.params.get("tracer", "batched"))
+        tracer_kwargs = dict(
             rtol=float(ctx.params.get("rtol", 1e-3)),
             max_steps=int(ctx.params.get("max_steps", 400)),
             local_cache_blocks=int(ctx.params.get("local_cache_blocks", 8)),
         )
         sample_cost = ctx.costs.pathline_sample
-        for seed in assignment:
-            gen = tracer.trace(seed, t_start, t_end)
-            charged = tracer.samples
-            try:
-                request = next(gen)
-                while True:
-                    # Charge the numerics done since the last block demand.
-                    pending = tracer.samples - charged
-                    if pending:
-                        yield Compute(pending * sample_cost)
-                        charged = tracer.samples
-                    block = yield Load(
-                        block_item(
-                            ctx.dataset,
-                            ctx.time_offset + request.time_index,
-                            request.block_id,
-                        )
+        if mode == "scalar":
+            tracer = PathlineTracer(handles, times, **tracer_kwargs)
+            for seed in assignment:
+                yield from self._drive(
+                    tracer, tracer.trace(seed, t_start, t_end), ctx, sample_cost
+                )
+        else:
+            tracer = BatchPathlineTracer(handles, times, **tracer_kwargs)
+            yield from self._drive(
+                tracer, tracer.trace_many(assignment, t_start, t_end), ctx, sample_cost
+            )
+
+    def _drive(self, tracer, gen, ctx: CommandContext, sample_cost: float):
+        """Run one tracer generator, charging samples and emitting results."""
+        charged = tracer.samples
+        try:
+            request = next(gen)
+            while True:
+                # Charge the numerics done since the last block demand.
+                pending = tracer.samples - charged
+                if pending:
+                    yield Compute(pending * sample_cost)
+                    charged = tracer.samples
+                block = yield Load(
+                    block_item(
+                        ctx.dataset,
+                        ctx.time_offset + request.time_index,
+                        request.block_id,
                     )
-                    request = gen.send(block)
-            except StopIteration as stop:
-                path = stop.value
-            pending = tracer.samples - charged
-            if pending:
-                yield Compute(pending * sample_cost)
+                )
+                request = gen.send(block)
+        except StopIteration as stop:
+            result = stop.value
+        pending = tracer.samples - charged
+        if pending:
+            yield Compute(pending * sample_cost)
+        paths = result if isinstance(result, list) else [result]
+        for path in paths:
             yield Emit(path, nbytes=int(path.points.nbytes + path.times.nbytes))
 
 

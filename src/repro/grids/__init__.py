@@ -10,7 +10,14 @@ from .geometry import (
     physical_gradient,
     velocity_gradient_tensor,
 )
-from .interpolate import CellLocator, invert_trilinear, trilinear_map, trilinear_weights
+from .interpolate import (
+    CellLocator,
+    invert_trilinear,
+    invert_trilinear_many,
+    trilinear_map,
+    trilinear_weights,
+    trilinear_weights_many,
+)
 from .multiblock import MultiBlockDataset, TimeSeries
 from .topology import BlockTopology, FaceMatch, file_order, find_matched_faces
 from .bsp import BSPNode, BSPTree
@@ -29,8 +36,10 @@ __all__ = [
     "velocity_gradient_tensor",
     "CellLocator",
     "invert_trilinear",
+    "invert_trilinear_many",
     "trilinear_map",
     "trilinear_weights",
+    "trilinear_weights_many",
     "MultiBlockDataset",
     "TimeSeries",
     "BlockTopology",

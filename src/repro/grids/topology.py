@@ -128,6 +128,27 @@ class BlockTopology:
             hits.sort(key=lambda bid: float(np.sum((centers[bid] - p) ** 2)))
         return hits
 
+    def candidates_many(self, points: np.ndarray) -> list[list[int]]:
+        """Batch :meth:`candidates`: one vectorized bbox test for all points.
+
+        Returns one nearest-center-first candidate list per point; the
+        per-point lists are identical to scalar :meth:`candidates`.
+        """
+        p = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        mask = np.all(
+            (p[:, None, :] >= self._lows[None]) & (p[:, None, :] <= self._highs[None]),
+            axis=2,
+        )
+        centers = 0.5 * (self._lows + self._highs)
+        d2 = ((p[:, None, :] - centers[None]) ** 2).sum(axis=2)
+        out: list[list[int]] = []
+        for row in range(len(p)):
+            hits = np.nonzero(mask[row])[0]
+            if len(hits) > 1:
+                hits = hits[np.argsort(d2[row, hits], kind="stable")]
+            out.append([self._ids[h] for h in hits])
+        return out
+
     def neighbors(self, block_id: int) -> list[int]:
         """Blocks whose padded bboxes overlap ``block_id``'s."""
         if self._neighbors is None:

@@ -1,0 +1,75 @@
+"""Regression: analytic symmetric-3x3 eigenvalues vs LAPACK.
+
+``lambda2_points`` now uses the closed-form trigonometric solve; it
+must stay within 1e-9 of ``np.linalg.eigvalsh`` on random and
+degenerate (double/triple eigenvalue) tensors.
+"""
+
+import numpy as np
+
+from repro.algorithms.lambda2 import _middle_eigvalsh3, lambda2_points
+
+
+def _sqq(g):
+    s = 0.5 * (g + np.swapaxes(g, -1, -2))
+    q = 0.5 * (g - np.swapaxes(g, -1, -2))
+    return s @ s + q @ q
+
+
+def _random_rotations(rng, n):
+    qs = []
+    for _ in range(n):
+        q, _ = np.linalg.qr(rng.standard_normal((3, 3)))
+        qs.append(q)
+    return np.array(qs)
+
+
+def test_analytic_matches_eigvalsh_random_tensors():
+    rng = np.random.default_rng(42)
+    m = _sqq(rng.standard_normal((4000, 3, 3)))
+    ref = np.linalg.eigvalsh(m)[..., 1]
+    np.testing.assert_allclose(_middle_eigvalsh3(m), ref, atol=1e-9, rtol=0)
+
+
+def test_analytic_matches_eigvalsh_degenerate_tensors():
+    rng = np.random.default_rng(43)
+    cases = []
+    for diag in (
+        [1.0, 1.0, 5.0],  # lower double
+        [0.5, 2.0, 2.0],  # upper double
+        [2.0, 2.0, 2.0],  # triple
+        [0.0, 0.0, 3.0],
+        [-1.0, -1.0, 4.0],
+        [-3.0, -3.0, -3.0],
+        [1e-8, 1e-8, 1.0],
+    ):
+        rots = _random_rotations(rng, 50)
+        a = rots @ (np.diag(diag)[None] @ np.swapaxes(rots, -1, -2))
+        cases.append(0.5 * (a + np.swapaxes(a, -1, -2)))
+    m = np.concatenate(cases)
+    ref = np.linalg.eigvalsh(m)[..., 1]
+    np.testing.assert_allclose(_middle_eigvalsh3(m), ref, atol=1e-9, rtol=0)
+
+
+def test_analytic_exact_diagonal_degenerates():
+    m = np.array(
+        [
+            np.eye(3) * 2.5,
+            np.zeros((3, 3)),
+            np.diag([1.0, 1.0, 5.0]),
+            np.diag([3.0, 3.0, 3.0]),
+            np.diag([1.0, 1.0 + 1e-15, 1.0 - 1e-15]),
+        ]
+    )
+    ref = np.linalg.eigvalsh(m)[..., 1]
+    np.testing.assert_allclose(_middle_eigvalsh3(m), ref, atol=1e-12, rtol=0)
+
+
+def test_lambda2_points_shape_and_reference():
+    """End-to-end through the public entry point, arbitrary leading dims."""
+    rng = np.random.default_rng(44)
+    g = rng.standard_normal((6, 5, 4, 3, 3))
+    got = lambda2_points(g)
+    assert got.shape == (6, 5, 4)
+    ref = np.linalg.eigvalsh(_sqq(np.asarray(g, dtype=np.float64)))[..., 1]
+    np.testing.assert_allclose(got, ref, atol=1e-9, rtol=0)

@@ -129,26 +129,26 @@ def test_pathlines_through_framework(engine):
 
 def test_pathlines_match_serial_tracer(engine):
     from repro.algorithms import trace_pathline
+    from repro.algorithms.pathlines import trace_pathlines
 
     seeds = [[0.2, 0.1, 0.8]]
+    kwargs = dict(max_steps=60, rtol=1e-2, local_cache_blocks=8)
     session = make_session(engine, 1)
+    # The default (batched) command path matches the serial batched driver.
     result = session.run(
         "pathlines-dataman",
-        params={
-            "seeds": seeds,
-            "time_range": (0, 4),
-            "max_steps": 60,
-            "rtol": 1e-2,
-            "local_cache_blocks": 8,
-        },
+        params={"seeds": seeds, "time_range": (0, 4), **kwargs},
     )
-    serial = trace_pathline(
-        engine.timeseries(),
-        np.array(seeds[0]),
-        max_steps=60,
-        rtol=1e-2,
-        local_cache_blocks=8,
+    serial_batched = trace_pathlines(engine.timeseries(), np.array(seeds), **kwargs)[0]
+    framework_path = result.payloads[0][0]
+    assert framework_path.termination == serial_batched.termination
+    np.testing.assert_allclose(framework_path.points, serial_batched.points, atol=1e-9)
+    # The scalar fallback matches the scalar reference tracer.
+    result = session.run(
+        "pathlines-dataman",
+        params={"seeds": seeds, "time_range": (0, 4), "tracer": "scalar", **kwargs},
     )
+    serial = trace_pathline(engine.timeseries(), np.array(seeds[0]), **kwargs)
     framework_path = result.payloads[0][0]
     assert framework_path.termination == serial.termination
     np.testing.assert_allclose(framework_path.points, serial.points, atol=1e-9)
