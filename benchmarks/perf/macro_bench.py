@@ -1,0 +1,190 @@
+"""PR 4 macro-benchmark: engine throughput before vs. after the fast paths.
+
+Three wall-clock probes, chosen to exercise the layers the overhaul
+touched end to end:
+
+* ``des_events_per_sec`` — synthetic calendar churn: 64 generator
+  processes each yield 4000 timeouts with deterministic pseudo-random
+  delays, so the heap constantly interleaves.  Measures the raw DES
+  kernel (schedule + pop + resume) with nothing else in the way.
+* ``replay_cycle_seconds`` — one warm replay of all four commands
+  (iso, vortex, pathlines, cutplane) on the small test-suite session
+  shape, the same cycle an interactive user replays while steering.
+* ``chaos_seconds`` — one seeded chaos run per command, including
+  session construction and fault injection: the cost of one cell of
+  the robustness matrix in ``tests/faults``.
+
+``BASELINE`` holds the numbers measured on this machine at the commit
+*before* the overhaul (20cabb6, "Batched particle tracing"), captured
+with this same harness.  ``python benchmarks/perf/macro_bench.py
+--json BENCH_PR4.json`` re-measures and emits current numbers,
+the recorded baseline, and the speedups side by side.
+
+Run with ``--update-baseline`` only when re-basing on new hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+# Measured at commit 20cabb6 (pre-overhaul) with this harness; see
+# docs/PERFORMANCE.md "Engine throughput".
+BASELINE = {
+    "des_events_per_sec": 476611.3,
+    "replay_cycle_seconds": 0.109984,
+    "chaos_seconds": 0.158600,
+}
+
+FLOORS = {"des_events_per_sec": 3.0, "replay_cycle_seconds": 2.0}
+
+REPLAY_COMMANDS = [
+    ("iso-dataman", {"isovalue": -0.3, "scalar": "pressure", "time_range": (0, 1)}),
+    ("vortex-dataman", {"threshold": -0.5, "time_range": (0, 1)}),
+    (
+        "pathlines-dataman",
+        {
+            "seeds": [[-0.3, -0.2, 0.6], [0.2, 0.3, 0.9], [0.0, -0.4, 1.1]],
+            "time_range": (0, 2),
+            "max_steps": 60,
+        },
+    ),
+    ("cutplane", {"normal": (0, 0, 1), "offset": 0.8, "time_range": (0, 1)}),
+]
+
+CHAOS_SEED = 7
+
+
+def bench_des_churn(n_procs: int = 64, n_timeouts: int = 4000) -> float:
+    """Timeout events processed per wall-clock second on a churning heap.
+
+    Delays are deterministic pseudo-random floats precomputed outside
+    the timed region, so the probe measures the kernel (schedule, pop,
+    generator resume), not the delay PRNG.  Every delayed yield is
+    followed by two zero-delay ones: instrumenting a full four-command
+    replay shows immediate events (succeed chains, resource grants,
+    process inits, cooperative yields) outnumber genuinely delayed
+    timeouts 2:1, so the probe reproduces that measured mix.
+    """
+    from repro.des import Environment
+
+    env = Environment()
+
+    def delays(seed, n):
+        state = seed
+        out = []
+        for _ in range(n):
+            state = (state * 1103515245 + 12345) % 2147483648
+            out.append((state % 997) / 997.0 + 1e-3)
+        return out
+
+    def churn(env, ds):
+        timeout = env.timeout
+        for d in ds:
+            yield timeout(d)
+            yield timeout(0.0)
+            yield timeout(0.0)
+
+    for p in range(n_procs):
+        env.process(churn(env, delays(p + 1, n_timeouts)))
+    start = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - start
+    return env._seq / elapsed
+
+
+def bench_replay(cycles: int = 5) -> float:
+    """Seconds for one warm replay of all four commands."""
+    from repro.faults import chaos_session
+
+    session = chaos_session(n_workers=4)
+    for command, params in REPLAY_COMMANDS:  # warm caches / first-touch numpy
+        session.run(command, params=dict(params))
+    best = float("inf")
+    for _ in range(cycles):
+        start = time.perf_counter()
+        for command, params in REPLAY_COMMANDS:
+            session.run(command, params=dict(params))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_chaos() -> float:
+    """Seconds for one seeded chaos run per command (cold sessions)."""
+    from repro.faults import fault_free_runtime, run_chaos
+
+    total = 0.0
+    for command, params in REPLAY_COMMANDS:
+        horizon = fault_free_runtime(command, params)
+        start = time.perf_counter()
+        run_chaos(command, params, seed=CHAOS_SEED, horizon=horizon)
+        total += time.perf_counter() - start
+    return total
+
+
+def measure() -> dict:
+    return {
+        "des_events_per_sec": bench_des_churn(),
+        "replay_cycle_seconds": bench_replay(),
+        "chaos_seconds": bench_chaos(),
+    }
+
+
+def speedups(current: dict) -> dict:
+    out = {}
+    for key, base in BASELINE.items():
+        now = current[key]
+        # events/sec is higher-is-better; the wall-clock probes lower.
+        out[key] = now / base if key.endswith("per_sec") else base / now
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", help="write BENCH_PR4.json here")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the PR-4 speedup floors hold",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="print a BASELINE dict for re-basing on new hardware",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+    if args.update_baseline:
+        print("BASELINE =", json.dumps(current, indent=4))
+        return 0
+
+    ratios = speedups(current)
+    report = {
+        "machine": platform.platform(),
+        "python": platform.python_version(),
+        "baseline_commit": "20cabb6",
+        "baseline": BASELINE,
+        "current": current,
+        "speedup": ratios,
+        "floors": FLOORS,
+        "meets_floors": all(ratios[k] >= v for k, v in FLOORS.items()),
+    }
+    for key in BASELINE:
+        print(
+            f"{key:24s} baseline={BASELINE[key]:<12.5g} "
+            f"current={current[key]:<12.5g} speedup={ratios[key]:.2f}x"
+        )
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.json}")
+    if args.check and not report["meets_floors"]:
+        print("FAIL: speedup floors not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

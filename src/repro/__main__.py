@@ -13,12 +13,17 @@ Usage::
                                 [--dataset engine|propfan] [--timeline]
     python -m repro stats <cmd> [--workers N] [--dataset engine|propfan]
                                 [--prometheus]
+    python -m repro profile <cmd> [--top N] [--sort cumulative|tottime]
+                                  [--workers N] [--dataset engine|propfan]
+                                  [--cold]
 
 ``trace`` runs one command on a small simulated cluster and exports a
 Chrome ``trace_event`` JSON (open in Perfetto / about:tracing) plus an
 ASCII timeline; ``stats`` prints the unified metrics table (cache hit
-rate, prefetch accuracy, latency histograms).  ``<cmd>`` is a registered
-command name or one of the aliases iso, vortex, pathlines, cutplane.
+rate, prefetch accuracy, latency histograms); ``profile`` replays a
+command under ``cProfile`` and prints the top hotspots so perf work
+starts from evidence.  ``<cmd>`` is a registered command name or one of
+the aliases iso, vortex, pathlines, cutplane.
 """
 
 from __future__ import annotations
@@ -41,6 +46,10 @@ USAGE = {
     "stats": (
         "python -m repro stats <cmd> [--workers N] "
         "[--dataset engine|propfan] [--prometheus]"
+    ),
+    "profile": (
+        "python -m repro profile <cmd> [--top N] [--sort cumulative|tottime] "
+        "[--workers N] [--dataset engine|propfan] [--cold]"
     ),
 }
 
@@ -146,6 +155,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_main(args)
     if mode == "stats":
         return _stats_main(args)
+    if mode == "profile":
+        return _profile_main(args)
     print(f"unknown mode {mode!r}; try --help")
     return 2
 
@@ -196,7 +207,7 @@ def _obs_flags(args: list[str]) -> tuple[list[str], dict]:
             if "=" in key:
                 key, value = key.split("=", 1)
                 flags[key] = value
-            elif key in {"timeline", "prometheus"}:
+            elif key in {"timeline", "prometheus", "cold"}:
                 flags[key] = True
             else:
                 if i + 1 >= len(args):
@@ -319,5 +330,57 @@ def _stats_main(args: list[str]) -> int:
     return 0
 
 
+def _profile_main(args: list[str]) -> int:
+    positional, flags = _obs_flags(args)
+    if flags.get("error") or not positional:
+        print(f"usage: {USAGE['profile']}")
+        return 2
+    try:
+        command, params = _obs_command_spec(positional[0])
+    except KeyError:
+        print(f"unknown command {positional[0]!r}; try `python -m repro commands`")
+        return 2
+    n_workers = _parse_workers(flags)
+    if n_workers is None:
+        return 2
+    sort = str(flags.get("sort", "cumulative"))
+    if sort not in {"cumulative", "tottime"}:
+        print(f"--sort must be cumulative or tottime, got {sort!r}")
+        return 2
+    try:
+        top = int(flags.get("top", 20))
+    except ValueError:
+        top = 0
+    if top < 1:
+        print(f"--top must be a positive integer, got {flags.get('top')!r}")
+        return 2
+    try:
+        session = _obs_session(str(flags.get("dataset", "engine")), n_workers)
+    except KeyError:
+        print("dataset must be engine or propfan")
+        return 2
+    import cProfile
+    import pstats
+
+    if not flags.get("cold"):
+        # Warm pass first: session construction, first-touch numpy and
+        # cold caches otherwise swamp the steady-state costs perf PRs
+        # actually target (the interactive replay loop).
+        session.run(command, params=dict(params))
+    profiler = cProfile.Profile()
+    profiler.enable()
+    session.run(command, params=dict(params))
+    profiler.disable()
+    pass_kind = "cold" if flags.get("cold") else "warm"
+    print(
+        f"== {command} on {flags.get('dataset', 'engine')} "
+        f"({n_workers} workers, {pass_kind} pass, top {top} by {sort}) =="
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return 0
+
+
 if __name__ == "__main__":
     raise SystemExit(main())
+

@@ -135,9 +135,9 @@ class Scheduler:
                        trace=trace, tracer=tracer)
             )
         self.history: list[RunRecord] = []
-        from collections import Counter, defaultdict
-
-        self._retained_markov: dict = defaultdict(Counter)
+        #: shared block -> TransitionTable graph kept across commands
+        #: when ``retain_markov`` is set (the paper's learning phase).
+        self._retained_markov: dict = {}
         # Work-group formation (§3): a command starts "as soon as enough
         # processes (called workers) are available".  The free pool is a
         # priority store (lowest ids first, keeping cache placement
@@ -192,12 +192,10 @@ class Scheduler:
         # ``retain_markov`` the graph survives across commands — the
         # paper's "after a learning phase" condition, under which "a
         # maximum of 95% cache misses could be eliminated".
-        from collections import Counter, defaultdict
-
         if ctx.params.get("retain_markov"):
             shared_markov_table = self._retained_markov
         else:
-            shared_markov_table = defaultdict(Counter)
+            shared_markov_table = {}
         for worker, assignment in zip(group, assignments):
             if spec == "none":
                 worker.proxy.prefetcher = make_prefetcher("none")

@@ -121,6 +121,7 @@ class ViracochaSession:
         trace: bool = False,
         observe: bool = True,
         recovery: RecoveryPolicy | None = None,
+        max_spans: int | None = None,
     ):
         self.source: BlockSource = (
             SyntheticSource(dataset)
@@ -147,6 +148,7 @@ class ViracochaSession:
             recorder=self.trace,
             clock=lambda: self.env.now,
             enabled=observe,
+            max_spans=max_spans,
         )
         #: unified metrics registry; DMS statistics publish into it.
         self.metrics = MetricsRegistry()
@@ -302,6 +304,10 @@ class ViracochaSession:
         self.scheduler.aggregate_dms_stats().publish(m, node="all")
         self.scheduler.server.publish_metrics(m)
         self.scheduler.server.selector.publish_metrics(m)
+        m.counter(
+            "viracocha_spans_dropped_total",
+            help="spans evicted by the tracer ring buffer (max_spans cap)",
+        ).set(self.tracer.dropped)
 
     def _worker_breakdown(self) -> dict[str, float]:
         agg = NodeBreakdown()

@@ -12,13 +12,15 @@ makes runtimes for 1..16 workers reproducible on a single host core.
 Determinism rules:
 
 * events scheduled at the same time fire in FIFO order of scheduling
-  (a monotonically increasing sequence number breaks heap ties);
+  (a monotonically increasing sequence number breaks calendar ties);
 * no wall-clock or OS randomness is consulted anywhere.
 """
 
 from __future__ import annotations
 
-import heapq
+from bisect import insort
+from collections import deque
+from sys import getrefcount
 from collections.abc import Generator, Iterable
 from typing import Any, Callable
 
@@ -92,7 +94,9 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        env._imm.append(self)
+        env._seq += 1
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -103,7 +107,9 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exc
-        self.env._schedule(self)
+        env = self.env
+        env._imm.append(self)
+        env._seq += 1
         return self
 
     def defuse(self) -> None:
@@ -111,19 +117,42 @@ class Event:
         self._defused = True
 
 
-class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+# Shared "pending, nobody listens yet" marker for Timeout.callbacks: an
+# immutable stand-in for a fresh empty list.  ``None`` still means
+# processed; appenders that find the marker swap in a real list first.
+_NO_CALLBACKS: tuple = ()
 
-    __slots__ = ("delay",)
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation.
+
+    ``_proc`` is the lightweight fast path: when a process yields a
+    fresh Timeout that nobody else listens to, the waiting process is
+    stored here instead of appending a ``_resume`` bound method to
+    ``callbacks``.  The run loop dispatches ``_proc`` directly — same
+    FIFO position (the slot stands in for what would have been the
+    first callback), no list iteration, no bound-method allocation.
+
+    A Timeout is born triggered and can never fail, so ``_triggered``,
+    ``_ok`` and ``_defused`` are class-level constants (they shadow the
+    parent's slots; nothing ever writes them on a Timeout), saving
+    three per-instance stores on the hottest allocation in the engine.
+    """
+
+    __slots__ = ("delay", "_proc")
+
+    _triggered = True
+    _ok = True
+    _defused = False
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self.delay = delay
+        self._proc = None
         env._schedule(self, delay=delay)
 
 
@@ -142,13 +171,18 @@ class _Condition(Event):
             self.succeed(self._collect())
             return
         for e in self.events:
-            if e.processed:
+            cbs = e.callbacks
+            if cbs is None:  # already processed
                 self._check(e)
-            elif e.callbacks is not None:
-                e.callbacks.append(self._check)
+            elif cbs.__class__ is tuple:  # shared _NO_CALLBACKS marker
+                e.callbacks = [self._check]
+            else:
+                cbs.append(self._check)
 
     def _collect(self) -> dict[Event, Any]:
-        return {e: e._value for e in self.events if e.processed and e._ok}
+        return {
+            e: e._value for e in self.events if e.callbacks is None and e._ok
+        }
 
     def _check(self, event: Event) -> None:
         if self._triggered:
@@ -187,6 +221,35 @@ class AnyOf(_Condition):
         return self._count >= 1
 
 
+class _Resume(Event):
+    """Pre-triggered shim that resumes a process after a processed target.
+
+    Replaces the closure-per-wait pattern: the callback is a shared
+    module-level trampoline reading two slots, so waiting on an
+    already-processed event allocates no closure cell.
+    """
+
+    __slots__ = ("process", "target")
+
+
+def _resume_trampoline(event: "_Resume") -> None:
+    event.process._resume_processed(event.target)
+
+
+class _Hook(Event):
+    """Pre-triggered shim carrying a zero-argument function for call_at.
+
+    The shared trampoline replaces the lambda closure that used to be
+    allocated per :meth:`Environment.call_at`.
+    """
+
+    __slots__ = ("fn",)
+
+
+def _hook_trampoline(event: "_Hook") -> None:
+    event.fn()
+
+
 class Process(Event):
     """Wraps a generator; itself an event that triggers on completion.
 
@@ -195,18 +258,26 @@ class Process(Event):
     handled by the generator, the process fails with the same exception.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_target", "name")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
             raise TypeError(f"process body must be a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
+        # Bound once so each resume costs one slot load, not two
+        # attribute lookups (``_generator`` then ``send``).
+        self._send = generator.send
         self._target: Event | None = None
         self.name = name or getattr(generator, "__name__", "process")
+        # Inlined ``Event(env).succeed()`` minus the already-triggered
+        # check: schedules the first _resume at the current time.
         init = Event(env)
+        init._triggered = True
+        init._ok = True
         init.callbacks.append(self._resume)
-        init.succeed()
+        env._imm.append(init)
+        env._seq += 1
 
     @property
     def is_alive(self) -> bool:
@@ -221,11 +292,15 @@ class Process(Event):
         def _do(_evt: Event) -> None:
             if self._triggered:
                 return
-            if self._target is not None and self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+            target = self._target
+            if target is not None:
+                if type(target) is Timeout and target._proc is self:
+                    target._proc = None
+                elif target.callbacks.__class__ is list:
+                    try:
+                        target.callbacks.remove(self._resume)
+                    except ValueError:
+                        pass
             self._target = None
             self._step(Interrupt(cause))
 
@@ -243,17 +318,19 @@ class Process(Event):
             self._step(event._value)
 
     def _step_send(self, value: Any) -> None:
-        self.env._active = self
+        env = self.env
+        env._active = self
         try:
-            target = self._generator.send(value)
+            target = self._send(value)
         except StopIteration as stop:
+            env._active = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
+            env._active = None
             self.fail(exc)
             return
-        finally:
-            self.env._active = None
+        env._active = None
         self._wait(target)
 
     def _step(self, exc: BaseException) -> None:
@@ -277,24 +354,41 @@ class Process(Event):
         self._wait(target)
 
     def _wait(self, target: Any) -> None:
+        if isinstance(target, Event) and target.env is self.env:
+            cbs = target.callbacks
+            if cbs is not None:
+                # Fast path: a fresh Timeout nobody else listens to is
+                # dispatched via its _proc slot (see Timeout docstring).
+                if type(target) is Timeout and not cbs and target._proc is None:
+                    target._proc = self
+                elif cbs.__class__ is tuple:  # shared _NO_CALLBACKS marker
+                    target.callbacks = [self._resume]
+                else:
+                    cbs.append(self._resume)
+                self._target = target
+            else:
+                # Already fired; resume immediately (next scheduling slot)
+                # via the shared trampoline instead of a per-wait closure.
+                env = self.env
+                resume = _Resume.__new__(_Resume)
+                resume.env = env
+                resume._value = None
+                resume._ok = True
+                resume._triggered = True
+                resume._defused = False
+                resume.process = self
+                resume.target = target
+                resume.callbacks = [_resume_trampoline]
+                env._imm.append(resume)
+                env._seq += 1
+                self._target = target
+            return
         if not isinstance(target, Event):
-            exc = SimulationError(
+            self._step(SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}"
-            )
-            self._step(exc)
-            return
-        if target.env is not self.env:
-            self._step(SimulationError("yielded event from another environment"))
-            return
-        if target.processed:
-            # Already fired; resume immediately (next scheduling slot).
-            resume = Event(self.env)
-            resume.callbacks.append(lambda _e: self._resume_processed(target))
-            resume.succeed()
-            self._target = target
+            ))
         else:
-            target.callbacks.append(self._resume)
-            self._target = target
+            self._step(SimulationError("yielded event from another environment"))
 
     def _resume_processed(self, target: Event) -> None:
         self._target = None
@@ -310,9 +404,37 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
+        # The calendar: a list of ``(-time, -seq, event)`` kept sorted
+        # (ascending), so the *next* event is at the tail.  Pops are
+        # O(1) ``list.pop()``; pushes are a C-level ``bisect.insort``
+        # whose memmove is short because most events are scheduled near
+        # the current time (tail of the list).  The negated key gives
+        # exactly the binary heap's total order — earliest time first,
+        # FIFO by sequence number at equal times — so replacing the
+        # heap cannot reorder any two events.
         self._queue: list[tuple[float, int, Event]] = []
+        # The immediate lane: events scheduled with zero delay (succeed
+        # chains, process inits, resumes — the bulk of real traffic).
+        # Entries are bare events — no timestamp and no sequence
+        # number.  Every immediate event fires at the *current*
+        # ``_now``: appends happen at the append-time clock, and the
+        # clock only advances from the far lane when this deque is
+        # empty.  That same invariant settles equal-time ties without
+        # comparing sequence numbers: a far event at exactly ``_now``
+        # was necessarily scheduled before the clock reached ``_now``
+        # (far inserts never land at the current time), hence before
+        # every entry in this deque, so at equal times the far lane
+        # always wins.  The deque is FIFO by construction, pops are
+        # comparison-free O(1), and the merged order reproduces the
+        # single-queue (time, seq) total order exactly.
+        self._imm: deque[Event] = deque()
         self._seq = 0
         self._active: Process | None = None
+        # Free list of processed Timeout shells for :meth:`timeout` to
+        # recycle.  The run loop returns a just-dispatched Timeout here
+        # only when ``getrefcount`` proves nothing else references it,
+        # so user code that keeps a Timeout around is never affected.
+        self._free: list[Timeout] = []
 
     @property
     def now(self) -> float:
@@ -327,7 +449,37 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        # The single hottest allocation in a run: build the pre-triggered
+        # Timeout directly (no chained __init__, no _schedule call).
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        free = self._free
+        if free:
+            t = free.pop()
+        else:
+            t = Timeout.__new__(Timeout)
+            t.env = self
+        t.callbacks = _NO_CALLBACKS
+        t._value = value
+        t.delay = delay
+        t._proc = None
+        seq = self._seq
+        if delay == 0.0:
+            self._imm.append(t)
+        else:
+            when = self._now + delay
+            if when > self._now:
+                insort(self._queue, (-when, -seq, t))
+            else:
+                # Tiny delay rounded away (now + delay == now): fires
+                # immediately at the same (time, seq) slot the single
+                # queue would have given it.  Keeping such events out of
+                # the far lane also guarantees far inserts never land at
+                # the current time, which the run loops rely on to cache
+                # their equal-time tie check.
+                self._imm.append(t)
+        self._seq = seq + 1
+        return t
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
@@ -349,11 +501,23 @@ class Environment:
         """
         if time < self._now:
             raise ValueError(f"call_at({time}) is in the past (now={self._now})")
-        evt = Event(self)
-        evt._triggered = True
+        evt = _Hook.__new__(_Hook)
+        evt.env = self
+        evt._value = None
         evt._ok = True
-        evt.callbacks.append(lambda _e: fn())
-        self._schedule(evt, delay=time - self._now)
+        evt._triggered = True
+        evt._defused = False
+        evt.fn = fn
+        evt.callbacks = [_hook_trampoline]
+        # ``now + (time - now)`` is not always bit-equal to ``time``;
+        # keep the historical arithmetic so injection timestamps stay
+        # byte-identical with the pre-fast-path kernel.
+        when = self._now + (time - self._now)
+        if when == self._now:
+            self._imm.append(evt)
+        else:
+            insort(self._queue, (-when, -self._seq, evt))
+        self._seq += 1
         return evt
 
     def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
@@ -364,20 +528,52 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        if delay == 0.0:
+            self._imm.append(event)
+        else:
+            when = self._now + delay
+            if when > self._now:
+                insort(self._queue, (-when, -self._seq, event))
+            else:  # delay rounded away; see Environment.timeout
+                self._imm.append(event)
         self._seq += 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._imm:
+            return self._now  # immediate events fire at the current time
+        if self._queue:
+            return -self._queue[-1][0]
+        return float("inf")
+
+    def _pop_next(self) -> tuple[float, Event]:
+        """Remove and return the globally next ``(time, event)`` pair."""
+        imm = self._imm
+        queue = self._queue
+        if imm:
+            # A far event at exactly the current time always wins: it
+            # was scheduled before the clock reached the current time
+            # (see the ``_imm`` comment in ``__init__``).
+            if queue and -queue[-1][0] == self._now:
+                _nt, _ns, event = queue.pop()
+                return self._now, event
+            return self._now, imm.popleft()
+        if queue:
+            neg_ft, _neg_fs, event = queue.pop()
+            return -neg_ft, event
+        raise SimulationError("no more events")
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
-            raise SimulationError("no more events")
-        when, _seq, event = heapq.heappop(self._queue)
+        when, event = self._pop_next()
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
+        if type(event) is Timeout:
+            proc = event._proc
+            if proc is not None:
+                event._proc = None
+                proc._target = None
+                proc._step_send(event._value)
         for cb in callbacks or ():
             cb(event)
         if not event._ok and not event._defused:
@@ -387,15 +583,94 @@ class Environment:
         """Run until the calendar empties, a deadline, or an event fires.
 
         Returns the event's value when ``until`` is an :class:`Event`.
+
+        The loop bodies inline :meth:`step` with the calendar localized,
+        and fuse the Timeout fast path (pop → resume the
+        waiting generator → re-wait on its next yield) into a single
+        iteration: identical pop order, timestamps, and callback
+        sequencing, minus several function calls and attribute lookups
+        per event.
         """
+        queue = self._queue
+        imm = self._imm
+        imm_popleft = imm.popleft
+        free = self._free
+        # Localize the names the dispatch body touches per event.
+        timeout_cls = Timeout
+        no_callbacks = _NO_CALLBACKS
+        refcount = getrefcount
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._queue:
+            neg_now = -self._now
+            # Far inserts never land at the current time (see
+            # Environment.timeout), so the equal-time far-vs-imm tie
+            # check only needs recomputing after a far pop.
+            tie = bool(queue) and queue[-1][0] == neg_now
+            while stop.callbacks is not None:  # not yet processed
+                if imm:
+                    # A far event at exactly the current time was
+                    # scheduled before the clock reached it, so it
+                    # precedes every immediate entry (rare tie).
+                    if tie:
+                        _nt, _ns, event = queue.pop()
+                        tie = bool(queue) and queue[-1][0] == neg_now
+                    else:
+                        event = imm_popleft()
+                elif queue:
+                    neg_when, _ns, event = queue.pop()
+                    self._now = -neg_when
+                    neg_now = neg_when
+                    tie = bool(queue) and queue[-1][0] == neg_now
+                else:
+                    self._active = None
                     raise SimulationError(
                         "simulation ran out of events before target event fired"
                     )
-                self.step()
+                callbacks = event.callbacks
+                event.callbacks = None
+                if type(event) is timeout_cls:
+                    proc = event._proc
+                    if proc is not None:
+                        event._proc = None
+                        proc._target = None
+                        # ``_active`` is reset lazily: the next store
+                        # (here, a callback site, or a loop exit)
+                        # overwrites it before any non-process code
+                        # can observe the value.
+                        self._active = proc
+                        try:
+                            target = proc._send(event._value)
+                        except StopIteration as result:
+                            self._active = None
+                            proc.succeed(result.value)
+                        except BaseException as exc:
+                            self._active = None
+                            proc.fail(exc)
+                        else:
+                            if (type(target) is timeout_cls
+                                    and target.callbacks is no_callbacks
+                                    and target._proc is None
+                                    and target.env is self):
+                                target._proc = proc
+                                proc._target = target
+                            else:
+                                self._active = None
+                                proc._wait(target)
+                    if callbacks:
+                        self._active = None
+                        for cb in callbacks:
+                            cb(event)
+                    elif len(free) < 256 and refcount(event) == 2:
+                        # Only this frame references the shell: recycle.
+                        free.append(event)
+                    continue
+                self._active = None
+                if callbacks:
+                    for cb in callbacks:
+                        cb(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            self._active = None
             if stop._ok:
                 return stop._value
             stop.defuse()
@@ -403,8 +678,76 @@ class Environment:
         deadline = float("inf") if until is None else float(until)
         if deadline != float("inf") and deadline < self._now:
             raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        # The far lane is sorted by ascending (-time, -seq): the tail is
+        # the next event, so ``time > deadline`` is ``key < -deadline``.
+        # Immediate events fire at the current time, which the entry
+        # check and the far-pop guard keep <= deadline, so only
+        # time-advancing far pops need a deadline test.
+        neg_deadline = -deadline
+        neg_now = -self._now
+        # See the until-Event loop for the tie-flag and lazy ``_active``
+        # reset rationale; the two loops differ only in the stop test.
+        tie = bool(queue) and queue[-1][0] == neg_now
+        while True:
+            if imm:
+                # Far event at exactly the current time precedes every
+                # immediate entry (rare tie; see the until-Event loop).
+                if tie:
+                    _nt, _ns, event = queue.pop()
+                    tie = bool(queue) and queue[-1][0] == neg_now
+                else:
+                    event = imm_popleft()
+            elif queue:
+                neg_when = queue[-1][0]
+                if neg_when < neg_deadline:
+                    break
+                _nt, _ns, event = queue.pop()
+                self._now = -neg_when
+                neg_now = neg_when
+                tie = bool(queue) and queue[-1][0] == neg_now
+            else:
+                break
+            callbacks = event.callbacks
+            event.callbacks = None
+            if type(event) is timeout_cls:
+                proc = event._proc
+                if proc is not None:
+                    event._proc = None
+                    proc._target = None
+                    self._active = proc
+                    try:
+                        target = proc._send(event._value)
+                    except StopIteration as result:
+                        self._active = None
+                        proc.succeed(result.value)
+                    except BaseException as exc:
+                        self._active = None
+                        proc.fail(exc)
+                    else:
+                        if (type(target) is timeout_cls
+                                and target.callbacks is no_callbacks
+                                and target._proc is None
+                                and target.env is self):
+                            target._proc = proc
+                            proc._target = target
+                        else:
+                            self._active = None
+                            proc._wait(target)
+                if callbacks:
+                    self._active = None
+                    for cb in callbacks:
+                        cb(event)
+                elif len(free) < 256 and refcount(event) == 2:
+                    # Only this frame references the shell: recycle.
+                    free.append(event)
+                continue
+            self._active = None
+            if callbacks:
+                for cb in callbacks:
+                    cb(event)
+            if not event._ok and not event._defused:
+                raise event._value
+        self._active = None
         if deadline != float("inf"):
             self._now = deadline
         return None

@@ -140,6 +140,30 @@ class Link:
         """
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        wire = self._wire
+        if not wire._waiting and len(wire._users) < wire.capacity:
+            # Uncontended fast path: the wire is idle and nobody queues,
+            # so the request would be granted at this instant anyway.
+            # Claim the slot synchronously and charge the one timeout
+            # that models the occupancy — the request/grant event pair
+            # per packet is coalesced away while the packet's arrival
+            # timestamp (now + duration) and all stats stay identical.
+            req = wire.grab()
+            try:
+                duration = self.transfer_time(nbytes)
+                if self.fault_hook is not None:
+                    extra = float(self.fault_hook(nbytes))
+                    if extra > 0.0:
+                        self.stats.faulted += 1
+                        self.stats.fault_delay += extra
+                        duration += extra
+                yield self.env.timeout(duration)
+                self.stats.transfers += 1
+                self.stats.bytes_sent += nbytes
+                self.stats.busy_time += duration
+            finally:
+                wire.release(req)
+            return
         t_req = self.env.now
         req = self._wire.request(priority=priority)
         # The wire slot is released on every exit path, including an

@@ -79,6 +79,23 @@ class Resource:
             self._grant_next()
         return req
 
+    def grab(self) -> Request:
+        """Synchronously claim a free slot (uncontended fast path).
+
+        The caller must have checked ``count < capacity`` with an empty
+        wait queue.  The returned request is already triggered *and*
+        processed: no grant event enters the calendar, so the acquiring
+        process never suspends.  :meth:`release` works on it as usual.
+        :class:`~repro.des.network.Link` uses this to coalesce the
+        per-packet request/grant event pair on an idle wire.
+        """
+        req = Request(self, priority=0)
+        req._triggered = True
+        req._ok = True
+        req.callbacks = None
+        self._users.add(req)
+        return req
+
     def release(self, req: Request) -> None:
         if req in self._users:
             self._users.discard(req)

@@ -121,13 +121,15 @@ class CacheTier:
             victim = self.policy.victim()
             if victim == exclude:
                 # Never evict the entry just inserted unless it is alone.
-                keys = [k for k in self._entries if k != exclude]
-                if not keys:
-                    break
-                # Ask the policy again after temporarily removing exclude
-                # is intrusive; simply pick the policy's next-best among
-                # the rest by removal order.
-                victim = keys[0]
+                # Take it out of the policy's view so the *policy's*
+                # next-best victim is chosen (not dict insertion order),
+                # then restore it; the entry was inserted this call, so
+                # re-inserting reproduces its state (count 1, MRU).
+                self.policy.remove(exclude)
+                try:
+                    victim = self.policy.victim()
+                finally:
+                    self.policy.on_insert(exclude)
             payload, nbytes = self._entries[victim]
             evicted.append((victim, payload, nbytes))
             self.remove(victim)

@@ -17,7 +17,6 @@ in 3-dimensional CFD data sets are not obvious at all times".
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
 from typing import Callable, Hashable, Sequence
 
 __all__ = [
@@ -28,8 +27,80 @@ __all__ = [
     "MarkovPrefetcher",
     "MarkovOBLPrefetcher",
     "SequenceOrder",
+    "TransitionTable",
     "make_prefetcher",
 ]
+
+
+class TransitionTable:
+    """Array-backed successor counts for one Markov context.
+
+    Replaces the previous ``Counter`` per context: successor counts
+    live in a dense ``list`` indexed through an interning dict, and the
+    running argmax is cached so the ``width == 1`` prediction (the
+    common configuration) is a single list index instead of a
+    ``most_common`` sort per observation.
+
+    Prediction order is identical to ``Counter.most_common``: highest
+    count first, ties broken by first-observation order.  For the
+    cached argmax this follows from counts only ever increasing — the
+    winner is replaced exactly when a successor strictly exceeds it or
+    ties it with an earlier insertion index.  Read access mirrors the
+    Counter mapping API (``table[key]``, ``.get``) for callers and
+    tests that inspect learned counts.
+    """
+
+    __slots__ = ("keys", "counts", "pos", "best")
+
+    def __init__(self) -> None:
+        self.keys: list[Hashable] = []
+        self.counts: list[int] = []
+        self.pos: dict[Hashable, int] = {}
+        self.best = -1
+
+    def increment(self, key: Hashable) -> None:
+        i = self.pos.get(key)
+        if i is None:
+            i = self.pos[key] = len(self.keys)
+            self.keys.append(key)
+            self.counts.append(0)
+        counts = self.counts
+        count = counts[i] + 1
+        counts[i] = count
+        best = self.best
+        if best < 0 or count > counts[best] or (count == counts[best] and i < best):
+            self.best = i
+
+    def top(self, width: int) -> list:
+        if self.best < 0:
+            return []
+        if width == 1:
+            return [self.keys[self.best]]
+        order = sorted(
+            range(len(self.counts)), key=self.counts.__getitem__, reverse=True
+        )
+        return [self.keys[i] for i in order[:width]]
+
+    # -- Counter-compatible reads -------------------------------------
+    def __getitem__(self, key: Hashable) -> int:
+        i = self.pos.get(key)
+        return self.counts[i] if i is not None else 0
+
+    def get(self, key: Hashable, default=None):
+        i = self.pos.get(key)
+        return self.counts[i] if i is not None else default
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __bool__(self) -> bool:
+        return bool(self.keys)
+
+    def __iter__(self):
+        return iter(self.keys)
+
+    def items(self):
+        return zip(self.keys, self.counts)
 
 
 class SequenceOrder:
@@ -118,21 +189,26 @@ class MarkovPrefetcher(Prefetcher):
             raise ValueError(f"width must be >= 1, got {width}")
         self.order = order
         self.width = width
-        self._table: dict[tuple, Counter] = defaultdict(Counter)
+        self._table: dict[tuple, TransitionTable] = {}
         self._history: list[Hashable] = []
 
     def observe(self, key: Hashable, was_hit: bool) -> list[Hashable]:
-        if len(self._history) >= self.order:
-            context = tuple(self._history[-self.order :])
-            self._table[context][key] += 1
-        self._history.append(key)
-        if len(self._history) > self.order:
-            del self._history[: len(self._history) - self.order]
-        context = tuple(self._history[-self.order :])
-        counts = self._table.get(context)
-        if not counts:
+        table = self._table
+        history = self._history
+        if len(history) >= self.order:
+            context = tuple(history[-self.order :])
+            transitions = table.get(context)
+            if transitions is None:
+                transitions = table[context] = TransitionTable()
+            transitions.increment(key)
+        history.append(key)
+        if len(history) > self.order:
+            del history[: len(history) - self.order]
+        context = tuple(history[-self.order :])
+        transitions = table.get(context)
+        if not transitions:
             return []
-        return [k for k, _ in counts.most_common(self.width)]
+        return transitions.top(self.width)
 
     def reset(self) -> None:
         self._table.clear()
@@ -146,10 +222,10 @@ class MarkovPrefetcher(Prefetcher):
         """Current prediction after ``key`` without recording a transition."""
         if self.order != 1:
             return []
-        counts = self._table.get((key,))
-        if not counts:
+        transitions = self._table.get((key,))
+        if not transitions:
             return []
-        return [k for k, _ in counts.most_common(self.width)]
+        return transitions.top(self.width)
 
     @property
     def n_contexts(self) -> int:
@@ -218,8 +294,6 @@ class BlockMarkovPrefetcher(Prefetcher):
         time_offset: int = 0,
         table: dict | None = None,
     ):
-        from collections import Counter, defaultdict
-
         from .items import block_item
 
         if width < 1:
@@ -229,16 +303,17 @@ class BlockMarkovPrefetcher(Prefetcher):
         self.n_timesteps = n_timesteps
         self.time_offset = time_offset
         self.width = width
-        self.table: dict = table if table is not None else defaultdict(Counter)
+        #: ``block -> TransitionTable``; may be shared between proxies.
+        self.table: dict = table if table is not None else {}
         self.obl = OBLPrefetcher(SequenceOrder(block_order))
         self.fallbacks = 0
         self._last_block: Hashable | None = None
 
     def _predict(self, block: Hashable) -> list[Hashable]:
-        counts = self.table.get(block)
-        if not counts:
+        transitions = self.table.get(block)
+        if not transitions:
             return []
-        return [b for b, _ in counts.most_common(self.width)]
+        return transitions.top(self.width)
 
     def observe(self, key, was_hit: bool) -> list:
         block = key.param("block")
@@ -247,7 +322,10 @@ class BlockMarkovPrefetcher(Prefetcher):
             return []
         if block != self._last_block:
             if self._last_block is not None:
-                self.table[self._last_block][block] += 1
+                transitions = self.table.get(self._last_block)
+                if transitions is None:
+                    transitions = self.table[self._last_block] = TransitionTable()
+                transitions.increment(block)
             self._last_block = block
         t_hi = self.time_offset + self.n_timesteps - 1
         predicted: list = []

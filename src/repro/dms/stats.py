@@ -49,6 +49,9 @@ class DMSStatistics:
     request_log: deque = None  # type: ignore[assignment]
     _pending_prefetched: set = field(default_factory=set)
     max_request_log: int = DEFAULT_REQUEST_LOG_CAP
+    #: pre-bound metric handles, keyed by (registry id, node label) so
+    #: repeated :meth:`publish` calls skip the (name, label-key) lookup.
+    _handles: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.max_request_log < 1:
@@ -160,48 +163,79 @@ class DMSStatistics:
         carry the derived rates.  ``node`` labels the series so one
         registry holds every proxy's view next to the global merge.
         """
-        labels = {"node": node}
-        registry.counter(
-            "viracocha_dms_requests_total", labels,
-            help="block requests seen by the DMS",
-        ).set(self.requests)
-        for tier, value in (("l1", self.hits_l1), ("l2", self.hits_l2)):
-            registry.counter(
-                "viracocha_dms_hits_total", {**labels, "tier": tier},
-                help="cache hits by tier",
-            ).set(value)
-        registry.counter(
-            "viracocha_dms_misses_total", labels, help="cache misses",
-        ).set(self.misses)
-        registry.counter(
-            "viracocha_dms_bytes_loaded_total", labels,
-            help="bytes brought in by forced loads",
-        ).set(self.bytes_loaded)
+        handles = self._handles.get((id(registry), node))
+        if handles is None:
+            handles = self._handles[(id(registry), node)] = (
+                self._bind(registry, node)
+            )
+        (requests, hits_l1, hits_l2, misses, bytes_loaded, issued, useful,
+         dropped, covered, hit_rate, accuracy, loads) = handles
+        requests.set(self.requests)
+        hits_l1.set(self.hits_l1)
+        hits_l2.set(self.hits_l2)
+        misses.set(self.misses)
+        bytes_loaded.set(self.bytes_loaded)
         for strategy, count in sorted(self.loads_by_strategy.items()):
+            handle = loads.get(strategy)
+            if handle is None:
+                handle = loads[strategy] = registry.counter(
+                    "viracocha_dms_loads_total",
+                    {"node": node, "strategy": strategy},
+                    help="forced loads by loading strategy",
+                )
+            handle.set(count)
+        issued.set(self.prefetches_issued)
+        useful.set(self.prefetches_useful)
+        dropped.set(self.prefetches_dropped)
+        covered.set(self.misses_covered)
+        hit_rate.set(self.hit_rate)
+        accuracy.set(self.prefetch_accuracy)
+
+    def _bind(self, registry, node: str) -> tuple:
+        """Create/look up every fixed series once; see ``_handles``."""
+        labels = {"node": node}
+        return (
             registry.counter(
-                "viracocha_dms_loads_total", {**labels, "strategy": strategy},
-                help="forced loads by loading strategy",
-            ).set(count)
-        registry.counter(
-            "viracocha_dms_prefetches_issued_total", labels,
-            help="prefetch loads started",
-        ).set(self.prefetches_issued)
-        registry.counter(
-            "viracocha_dms_prefetches_useful_total", labels,
-            help="prefetches later hit by demand",
-        ).set(self.prefetches_useful)
-        registry.counter(
-            "viracocha_dms_prefetches_dropped_total", labels,
-            help="prefetch suggestions not issued",
-        ).set(self.prefetches_dropped)
-        registry.counter(
-            "viracocha_dms_misses_covered_total", labels,
-            help="demand misses that overlapped an in-flight prefetch",
-        ).set(self.misses_covered)
-        registry.gauge(
-            "viracocha_dms_hit_rate", labels, help="cache hit rate",
-        ).set(self.hit_rate)
-        registry.gauge(
-            "viracocha_dms_prefetch_accuracy", labels,
-            help="useful / issued prefetches",
-        ).set(self.prefetch_accuracy)
+                "viracocha_dms_requests_total", labels,
+                help="block requests seen by the DMS",
+            ),
+            registry.counter(
+                "viracocha_dms_hits_total", {**labels, "tier": "l1"},
+                help="cache hits by tier",
+            ),
+            registry.counter(
+                "viracocha_dms_hits_total", {**labels, "tier": "l2"},
+                help="cache hits by tier",
+            ),
+            registry.counter(
+                "viracocha_dms_misses_total", labels, help="cache misses",
+            ),
+            registry.counter(
+                "viracocha_dms_bytes_loaded_total", labels,
+                help="bytes brought in by forced loads",
+            ),
+            registry.counter(
+                "viracocha_dms_prefetches_issued_total", labels,
+                help="prefetch loads started",
+            ),
+            registry.counter(
+                "viracocha_dms_prefetches_useful_total", labels,
+                help="prefetches later hit by demand",
+            ),
+            registry.counter(
+                "viracocha_dms_prefetches_dropped_total", labels,
+                help="prefetch suggestions not issued",
+            ),
+            registry.counter(
+                "viracocha_dms_misses_covered_total", labels,
+                help="demand misses that overlapped an in-flight prefetch",
+            ),
+            registry.gauge(
+                "viracocha_dms_hit_rate", labels, help="cache hit rate",
+            ),
+            registry.gauge(
+                "viracocha_dms_prefetch_accuracy", labels,
+                help="useful / issued prefetches",
+            ),
+            {},  # per-strategy viracocha_dms_loads_total handles
+        )

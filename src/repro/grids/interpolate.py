@@ -15,6 +15,8 @@ tracing, where consecutive queries are close together).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 from scipy.spatial import cKDTree
 
@@ -146,6 +148,94 @@ def _weight_derivative_columns(
     return dr, ds, dt
 
 
+#: Batch sizes at or below this take scalar Python fast paths.  Particle
+#: batches during replay are routinely 2-4 points, where per-call numpy
+#: dispatch dominates the actual arithmetic by an order of magnitude.
+_SMALL_BATCH = 16
+
+
+def _invert_one(cell, px, py, pz, tol2, max_iter):
+    """One Newton inversion, bit-identical to :func:`invert_trilinear_many`.
+
+    Every expression mirrors the vectorized sweep, including numpy's
+    pairwise association for 8-element row sums
+    (``((a0+a1)+(a2+a3))+((a4+a5)+(a6+a7))``), so a row solved here is
+    indistinguishable from the same row solved in a large batch.  This
+    matters because downstream cell/step decisions feed the simulated
+    request stream: the golden trace fingerprints pin these bits.
+    """
+    (x0, y0, z0), (x1, y1, z1), (x2, y2, z2), (x3, y3, z3), \
+        (x4, y4, z4), (x5, y5, z5), (x6, y6, z6), (x7, y7, z7) = cell
+    r = s = t = 0.5
+    for _ in range(max_iter):
+        rm = 1.0 - r; sm = 1.0 - s; tm = 1.0 - t
+        smtm = sm * tm; stm = s * tm; smt = sm * t; st = s * t
+        w0 = rm * smtm; w1 = r * smtm; w2 = r * stm; w3 = rm * stm
+        w4 = rm * smt; w5 = r * smt; w6 = r * st; w7 = rm * st
+        fx = ((w0 * x0 + w1 * x1) + (w2 * x2 + w3 * x3)) \
+            + ((w4 * x4 + w5 * x5) + (w6 * x6 + w7 * x7)) - px
+        fy = ((w0 * y0 + w1 * y1) + (w2 * y2 + w3 * y3)) \
+            + ((w4 * y4 + w5 * y5) + (w6 * y6 + w7 * y7)) - py
+        fz = ((w0 * z0 + w1 * z1) + (w2 * z2 + w3 * z3)) \
+            + ((w4 * z4 + w5 * z5) + (w6 * z6 + w7 * z7)) - pz
+        if fx * fx + fy * fy + fz * fz < tol2:
+            return r, s, t, True
+        # Jacobian rows, with the derivative columns of
+        # _weight_derivative_columns folded in sign-by-sign.
+        j00 = ((-(smtm * x0) + smtm * x1) + (stm * x2 - stm * x3)) \
+            + ((-(smt * x4) + smt * x5) + (st * x6 - st * x7))
+        j10 = ((-(smtm * y0) + smtm * y1) + (stm * y2 - stm * y3)) \
+            + ((-(smt * y4) + smt * y5) + (st * y6 - st * y7))
+        j20 = ((-(smtm * z0) + smtm * z1) + (stm * z2 - stm * z3)) \
+            + ((-(smt * z4) + smt * z5) + (st * z6 - st * z7))
+        rmtm = rm * tm; rtm = r * tm; rmt = rm * t; rt = r * t
+        j01 = ((-(rmtm * x0) - rtm * x1) + (rtm * x2 + rmtm * x3)) \
+            + ((-(rmt * x4) - rt * x5) + (rt * x6 + rmt * x7))
+        j11 = ((-(rmtm * y0) - rtm * y1) + (rtm * y2 + rmtm * y3)) \
+            + ((-(rmt * y4) - rt * y5) + (rt * y6 + rmt * y7))
+        j21 = ((-(rmtm * z0) - rtm * z1) + (rtm * z2 + rmtm * z3)) \
+            + ((-(rmt * z4) - rt * z5) + (rt * z6 + rmt * z7))
+        rmsm = rm * sm; rsm = r * sm; rs = r * s; rms = rm * s
+        j02 = ((-(rmsm * x0) - rsm * x1) + (-(rs * x2) - rms * x3)) \
+            + ((rmsm * x4 + rsm * x5) + (rs * x6 + rms * x7))
+        j12 = ((-(rmsm * y0) - rsm * y1) + (-(rs * y2) - rms * y3)) \
+            + ((rmsm * y4 + rsm * y5) + (rs * y6 + rms * y7))
+        j22 = ((-(rmsm * z0) - rsm * z1) + (-(rs * z2) - rms * z3)) \
+            + ((rmsm * z4 + rsm * z5) + (rs * z6 + rms * z7))
+        cof00 = j11 * j22 - j12 * j21
+        cof01 = j10 * j22 - j12 * j20
+        cof02 = j10 * j21 - j11 * j20
+        det = j00 * cof00 - j01 * cof01 + j02 * cof02
+        if det == 0.0 or not math.isfinite(det):
+            return r, s, t, False
+        inv = 1.0 / det
+        d_r = inv * (
+            fx * cof00 - j01 * (fy * j22 - j12 * fz) + j02 * (fy * j21 - j11 * fz)
+        )
+        d_s = inv * (
+            j00 * (fy * j22 - j12 * fz) - fx * cof01 + j02 * (j10 * fz - fy * j20)
+        )
+        d_t = inv * (
+            j00 * (j11 * fz - fy * j21) - j01 * (j10 * fz - fy * j20) + fx * cof02
+        )
+        r = r - d_r; s = s - d_s; t = t - d_t
+        # Keep Newton from running away on strongly curved cells.
+        r = -1.0 if r < -1.0 else (2.0 if r > 2.0 else r)
+        s = -1.0 if s < -1.0 else (2.0 if s > 2.0 else s)
+        t = -1.0 if t < -1.0 else (2.0 if t > 2.0 else t)
+    rm = 1.0 - r; sm = 1.0 - s; tm = 1.0 - t
+    smtm = sm * tm; stm = s * tm; smt = sm * t; st = s * t
+    w0 = rm * smtm; w1 = r * smtm; w2 = r * stm; w3 = rm * stm
+    w4 = rm * smt; w5 = r * smt; w6 = r * st; w7 = rm * st
+    fx = ((w0 * x0 + w1 * x1) + (w2 * x2 + w3 * x3)) \
+        + ((w4 * x4 + w5 * x5) + (w6 * x6 + w7 * x7)) - px
+    fy = ((w0 * y0 + w1 * y1) + (w2 * y2 + w3 * y3)) \
+        + ((w4 * y4 + w5 * y5) + (w6 * y6 + w7 * y7)) - py
+    fz = ((w0 * z0 + w1 * z1) + (w2 * z2 + w3 * z3)) \
+        + ((w4 * z4 + w5 * z5) + (w6 * z6 + w7 * z7)) - pz
+    return r, s, t, (fx * fx + fy * fy + fz * fz < tol2)
+
+
 def invert_trilinear_many(
     corners: np.ndarray,
     points: np.ndarray,
@@ -169,6 +259,17 @@ def invert_trilinear_many(
     rst = np.full((n, 3), 0.5)
     converged = np.zeros(n, dtype=bool)
     if n == 0:
+        return rst, converged
+    if n <= _SMALL_BATCH:
+        tol2 = tol * tol
+        cl = c.tolist()
+        pl = p.tolist()
+        for i in range(n):
+            px, py, pz = pl[i]
+            r, s, t, ok = _invert_one(cl[i], px, py, pz, tol2, max_iter)
+            row = rst[i]
+            row[0] = r; row[1] = s; row[2] = t
+            converged[i] = ok
         return rst, converged
     cx, cy, cz = c[:, :, 0], c[:, :, 1], c[:, :, 2]
     tol2 = tol * tol
@@ -535,6 +636,8 @@ class CellLocator:
         """Vectorized cell walk: every point steps from its own hint cell."""
         m = len(pts)
         ci, cj, ck = self.block.cell_shape
+        if m <= _SMALL_BATCH:
+            return self._walk_small(pts, starts, max_walk)
         limit = np.array([ci - 1, cj - 1, ck - 1], dtype=np.int64)
         cur = np.clip(np.asarray(starts, dtype=np.int64), 0, limit)
         out_cells = np.full((m, 3), -1, dtype=np.int64)
@@ -571,6 +674,62 @@ class CellLocator:
             alive = rows
         return out_cells, out_rst
 
+    def _walk_small(
+        self, pts: np.ndarray, starts: np.ndarray, max_walk: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scalar counterpart of :meth:`_walk_many` for tiny batches.
+
+        Rows walk independently in the vectorized sweep, so walking them
+        one at a time with the bit-identical scalar Newton solve
+        (:func:`_invert_one`) yields the exact same cells and natural
+        coordinates while skipping the per-step masking machinery.
+        """
+        m = len(pts)
+        ci, cj, ck = self.block.cell_shape
+        i_hi, j_hi, k_hi = ci - 1, cj - 1, ck - 1
+        out_cells = np.full((m, 3), -1, dtype=np.int64)
+        out_rst = np.zeros((m, 3), dtype=np.float64)
+        corners_grid = self._cell_corners
+        lo_ok = -self.slack
+        hi_ok = 1.0 + self.slack
+        tol2 = 1e-10 * 1e-10
+        pts_l = np.asarray(pts, dtype=np.float64).tolist()
+        starts_l = np.asarray(starts, dtype=np.int64).tolist()
+        for row in range(m):
+            px, py, pz = pts_l[row]
+            a, b, c = starts_l[row]
+            a = 0 if a < 0 else (i_hi if a > i_hi else a)
+            b = 0 if b < 0 else (j_hi if b > j_hi else b)
+            c = 0 if c < 0 else (k_hi if c > k_hi else c)
+            pa = pb = pc = -9
+            for _ in range(max_walk):
+                cell = corners_grid[a, b, c].tolist()
+                r, s, t, ok = _invert_one(cell, px, py, pz, tol2, 25)
+                if (
+                    ok
+                    and r >= lo_ok and s >= lo_ok and t >= lo_ok
+                    and r <= hi_ok and s <= hi_ok and t <= hi_ok
+                ):
+                    oc = out_cells[row]
+                    oc[0] = a; oc[1] = b; oc[2] = c
+                    orow = out_rst[row]
+                    orow[0] = r; orow[1] = s; orow[2] = t
+                    break
+                # Step toward where the natural coordinates point.
+                sa = -1 if r < lo_ok else (1 if r > hi_ok else 0)
+                sb = -1 if s < lo_ok else (1 if s > hi_ok else 0)
+                sc = -1 if t < lo_ok else (1 if t > hi_ok else 0)
+                if sa == 0 and sb == 0 and sc == 0:
+                    break  # Newton failed without direction info
+                na, nb, nc = a + sa, b + sb, c + sc
+                if not (0 <= na <= i_hi and 0 <= nb <= j_hi and 0 <= nc <= k_hi):
+                    break  # walked off the block
+                if na == pa and nb == pb and nc == pc:
+                    break  # two-cell oscillation
+                pa, pb, pc = a, b, c
+                a, b, c = na, nb, nc
+        return out_cells, out_rst
+
     def interpolate_many(
         self, name: str, cells: np.ndarray, rst: np.ndarray
     ) -> np.ndarray:
@@ -580,8 +739,11 @@ class CellLocator:
         for scalar fields and ``(n, 3)`` for vector fields.
         """
         cells = np.asarray(cells, dtype=np.int64).reshape(-1, 3)
-        w = trilinear_weights_many(np.asarray(rst, dtype=np.float64).reshape(-1, 3))
         data = self.block.field(name)
+        n = len(cells)
+        if n <= _SMALL_BATCH:
+            return self._interpolate_small(data, cells, rst)
+        w = trilinear_weights_many(np.asarray(rst, dtype=np.float64).reshape(-1, 3))
         i, j, k = cells[:, 0], cells[:, 1], cells[:, 2]
         corners = np.stack(
             [
@@ -599,6 +761,57 @@ class CellLocator:
         if data.ndim == 3:
             return (w * corners).sum(axis=1)
         return (w[:, :, None] * corners).sum(axis=1)
+
+    def _interpolate_small(
+        self, data: np.ndarray, cells: np.ndarray, rst: np.ndarray
+    ) -> np.ndarray:
+        """Scalar counterpart of :meth:`interpolate_many` for tiny batches.
+
+        Gathers the 8 corner values per row directly and blends them in
+        numpy's reduction order — pairwise for the scalar-field case
+        (contiguous inner-axis sum), sequential for the vector case
+        (outer-axis sum) — so results are bit-identical to the
+        vectorized gather while skipping the batch ``np.stack``.
+        """
+        n = len(cells)
+        cells_l = cells.tolist()
+        rst_l = np.asarray(rst, dtype=np.float64).reshape(-1, 3).tolist()
+        vector = data.ndim != 3
+        n_comp = data.shape[3] if vector else 0
+        out = np.empty((n, n_comp) if vector else n, dtype=np.float64)
+        for row in range(n):
+            i, j, k = cells_l[row]
+            r, s, t = rst_l[row]
+            rm = 1.0 - r; sm = 1.0 - s; tm = 1.0 - t
+            smtm = sm * tm; stm = s * tm; smt = sm * t; st = s * t
+            w0 = rm * smtm; w1 = r * smtm; w2 = r * stm; w3 = rm * stm
+            w4 = rm * smt; w5 = r * smt; w6 = r * st; w7 = rm * st
+            i1, j1, k1 = i + 1, j + 1, k + 1
+            if not vector:
+                out[row] = (
+                    (w0 * float(data[i, j, k]) + w1 * float(data[i1, j, k]))
+                    + (w2 * float(data[i1, j1, k]) + w3 * float(data[i, j1, k]))
+                ) + (
+                    (w4 * float(data[i, j, k1]) + w5 * float(data[i1, j, k1]))
+                    + (w6 * float(data[i1, j1, k1]) + w7 * float(data[i, j1, k1]))
+                )
+                continue
+            c0 = data[i, j, k].tolist()
+            c1 = data[i1, j, k].tolist()
+            c2 = data[i1, j1, k].tolist()
+            c3 = data[i, j1, k].tolist()
+            c4 = data[i, j, k1].tolist()
+            c5 = data[i1, j, k1].tolist()
+            c6 = data[i1, j1, k1].tolist()
+            c7 = data[i, j1, k1].tolist()
+            orow = out[row]
+            for comp in range(n_comp):
+                orow[comp] = (
+                    w0 * c0[comp] + w1 * c1[comp] + w2 * c2[comp]
+                    + w3 * c3[comp] + w4 * c4[comp] + w5 * c5[comp]
+                    + w6 * c6[comp] + w7 * c7[comp]
+                )
+        return out
 
     # ------------------------------------------------------ interpolate
     def interpolate(

@@ -19,8 +19,9 @@ recorder is attached, so code that greps the flat log keeps working.
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from itertools import islice
 from typing import Any, Callable, Iterator
 
 from ..des.trace import TraceRecorder
@@ -53,18 +54,46 @@ SPAN_KINDS = (
 )
 
 
-@dataclass
 class Span:
-    """One timed interval on one simulated node."""
+    """One timed interval on one simulated node.
 
-    span_id: int
-    kind: str
-    name: str
-    node: int
-    t_start: float
-    t_end: float | None = None
-    parent_id: int | None = None
-    attrs: dict[str, Any] = field(default_factory=dict)
+    A plain ``__slots__`` class (not a dataclass): spans are created on
+    every request/compute/stream step of a simulated run, so instances
+    carry no ``__dict__`` and the ``attrs`` dict is materialized lazily
+    — most spans never get one.
+    """
+
+    __slots__ = (
+        "span_id", "kind", "name", "node", "t_start", "t_end",
+        "parent_id", "_attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        kind: str,
+        name: str,
+        node: int,
+        t_start: float,
+        t_end: float | None = None,
+        parent_id: int | None = None,
+        attrs: dict[str, Any] | None = None,
+    ):
+        self.span_id = span_id
+        self.kind = kind
+        self.name = name
+        self.node = node
+        self.t_start = t_start
+        self.t_end = t_end
+        self.parent_id = parent_id
+        self._attrs = attrs or None
+
+    @property
+    def attrs(self) -> dict[str, Any]:
+        a = self._attrs
+        if a is None:
+            a = self._attrs = {}
+        return a
 
     @property
     def finished(self) -> bool:
@@ -100,6 +129,11 @@ class SpanTracer:
     ``clock`` supplies default timestamps (usually ``lambda: env.now``);
     explicit ``t=`` arguments override it.  When ``enabled`` is False
     every call is a cheap no-op returning :data:`NULL_SPAN`.
+
+    ``max_spans`` caps memory like PR 1's ``request_log`` ring: when
+    set, only the most recent ``max_spans`` spans are retained (oldest
+    evicted first) and :attr:`dropped` counts the evictions, which the
+    session surfaces as ``viracocha_spans_dropped_total``.
     """
 
     def __init__(
@@ -107,11 +141,16 @@ class SpanTracer:
         recorder: TraceRecorder | None = None,
         clock: Callable[[], float] | None = None,
         enabled: bool = True,
+        max_spans: int | None = None,
     ):
+        if max_spans is not None and max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
         self.recorder = recorder
         self.clock = clock
         self.enabled = enabled
-        self.spans: list[Span] = []
+        self.max_spans = max_spans
+        self.spans: deque[Span] = deque()
+        self.dropped = 0
         self._by_id: dict[int, Span] = {}
         self._next_id = 0
 
@@ -134,22 +173,33 @@ class SpanTracer:
     ) -> Span:
         if not self.enabled:
             return NULL_SPAN
+        if t is None:
+            clock = self.clock
+            t = clock() if clock is not None else 0.0
+        span_id = self._next_id
+        self._next_id = span_id + 1
+        # ``attrs`` is the fresh kwargs dict — owned, so no copy.
         span = Span(
-            span_id=self._next_id,
-            kind=kind,
-            name=name if name is not None else kind,
-            node=node,
-            t_start=self._now(t),
-            parent_id=parent.span_id if parent is not None and parent is not NULL_SPAN else None,
-            attrs=dict(attrs),
+            span_id,
+            kind,
+            name if name is not None else kind,
+            node,
+            t,
+            None,
+            parent.span_id if parent is not None and parent is not NULL_SPAN else None,
+            attrs,
         )
-        self._next_id += 1
-        self.spans.append(span)
-        self._by_id[span.span_id] = span
+        spans = self.spans
+        if self.max_spans is not None and len(spans) >= self.max_spans:
+            evicted = spans.popleft()
+            del self._by_id[evicted.span_id]
+            self.dropped += 1
+        spans.append(span)
+        self._by_id[span_id] = span
         if self.recorder is not None:
             self.recorder.record(
-                span.t_start, node, "span-begin",
-                span=span.span_id, span_kind=kind, name=span.name,
+                t, node, "span-begin",
+                span=span_id, span_kind=kind, name=span.name,
                 parent=span.parent_id,
             )
         return span
@@ -159,15 +209,23 @@ class SpanTracer:
             return span
         if span.t_end is not None:
             raise ValueError(f"span {span.span_id} ({span.kind}) already ended")
-        span.t_end = self._now(t)
-        if span.t_end < span.t_start:
+        if t is None:
+            clock = self.clock
+            t = clock() if clock is not None else 0.0
+        if t < span.t_start:
             raise ValueError(
-                f"span {span.span_id} ends at {span.t_end} before start {span.t_start}"
+                f"span {span.span_id} ends at {t} before start {span.t_start}"
             )
-        span.attrs.update(attrs)
+        span.t_end = t
+        if attrs:
+            existing = span._attrs
+            if existing is None:
+                span._attrs = attrs  # fresh kwargs dict — owned, no copy
+            else:
+                existing.update(attrs)
         if self.recorder is not None:
             self.recorder.record(
-                span.t_end, span.node, "span-end",
+                t, span.node, "span-end",
                 span=span.span_id, span_kind=span.kind,
             )
         return span
@@ -215,10 +273,18 @@ class SpanTracer:
     # ------------------------------------------------- per-run slicing
     def mark(self) -> int:
         """Position marker; pair with :meth:`since` to slice one run."""
-        return len(self.spans)
+        return self._next_id
 
     def since(self, mark: int) -> list[Span]:
-        return self.spans[mark:]
+        spans = self.spans
+        if not spans:
+            return []
+        # Retained spans have contiguous ids; anything older than the
+        # head was evicted by the ring buffer (or cleared).
+        start = mark - spans[0].span_id
+        if start <= 0:
+            return list(spans)
+        return list(islice(spans, start, None))
 
     def clear(self) -> None:
         self.spans.clear()

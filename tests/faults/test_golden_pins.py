@@ -1,0 +1,78 @@
+"""Golden trace-fingerprint pins for the four headline commands.
+
+The PR-4 throughput overhaul (DES fast paths, O(1) cache policies,
+pre-bound metrics, coalesced transfer events, scalar small-batch
+interpolation) is pure performance: simulated timestamps, results, and
+chaos-suite determinism must be untouched.  These fingerprints were
+captured at commit 20cabb6 — *before* the overhaul — and every constant
+below is asserted byte-for-byte, so any optimization that perturbs the
+simulated event stream (or the floating-point bits feeding it) fails
+here rather than silently shifting every figure downstream.
+
+Each command is pinned twice: one fault-free run (span-stream hash plus
+exact ``repr`` of the simulated runtime and the triangle count) and one
+seeded chaos run over the same horizon.
+"""
+
+import pytest
+
+from repro.faults import chaos_session, run_chaos
+from repro.faults.chaos import trace_fingerprint
+
+CHAOS_SEED = 7
+
+#: command -> (params, fault-free fingerprint, exact simulated runtime,
+#: triangle count, chaos fingerprint at seed 7).
+GOLDEN = {
+    "iso-dataman": (
+        {"isovalue": -0.3, "scalar": "pressure", "time_range": (0, 2)},
+        "c090e622e1bb1b96180590c636d8f36d83b521110179418ded458bb8e4521c90",
+        "609.0334040424383",
+        2576,
+        "2b3521dfec84ceb2924dee537f8d91e8371a5ecca354960c6496074ae4d8a194",
+    ),
+    "vortex-dataman": (
+        {"time_range": (0, 2)},
+        "04d031f4cf0590232ddcc96c37a6c8ef83fc1da724cbfd8626fd7b38b079477d",
+        "781.9283300498994",
+        3008,
+        "5eea46035e0b9bfb46f569c19de44937e9ec81df8a52a737c7ef2b04e7f87186",
+    ),
+    "pathlines-dataman": (
+        {
+            "seeds": [[0.5, 0.5, 0.5], [0.25, 0.5, 0.75]],
+            "time_range": (0, 2),
+            "max_steps": 60,
+        },
+        "31869419a89f9ddcfc7fe0e04db141b98a40604ffb8f6b9bb375b92826b14bda",
+        "84.09797556023322",
+        0,
+        "f252737535666555c1cbf47cd731e45b7f014b9c5c88569e0005302994822250",
+    ),
+    "cutplane": (
+        {"normal": (0.0, 0.0, 1.0), "offset": 0.8, "time_range": (0, 1)},
+        "3e4fedd72c9b35a9fbde4c491b5a8cfa6447a306123ece141ddfeee232d6f282",
+        "307.9026419952897",
+        760,
+        "28c1e14a9e95651652311cd83e1f4f2b8af015ebfee22419dfe383454c984ead",
+    ),
+}
+
+
+@pytest.mark.parametrize("command", sorted(GOLDEN))
+def test_fault_free_run_matches_golden_fingerprint(command):
+    params, clean_fp, runtime, n_triangles, _ = GOLDEN[command]
+    session = chaos_session()
+    result = session.run(command, params=dict(params))
+    assert trace_fingerprint(result) == clean_fp
+    # repr-exact simulated runtime: one misordered or re-timed event
+    # anywhere in the calendar shows up in the final clock bits.
+    assert repr(result.total_runtime) == runtime
+    assert result.geometry.n_triangles == n_triangles
+
+
+@pytest.mark.parametrize("command", sorted(GOLDEN))
+def test_seeded_chaos_run_matches_golden_fingerprint(command):
+    params, _, runtime, _, chaos_fp = GOLDEN[command]
+    run = run_chaos(command, params, seed=CHAOS_SEED, horizon=float(runtime))
+    assert run.fingerprint == chaos_fp

@@ -100,3 +100,30 @@ def test_all_registry_commands_have_obs_defaults():
         resolved, params = _obs_command_spec(name)
         assert resolved == name
         assert isinstance(params, dict)
+
+
+def test_profile_prints_hotspots(capsys):
+    assert cli_main(["profile", "iso", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "warm pass, top 5 by cumulative" in out
+    assert "cumulative time" in out
+    assert "function calls" in out
+    # pstats restriction actually applied and paths stripped to basenames
+    assert "restriction <5>" in out
+    assert "session.py" in out
+
+
+def test_profile_cold_and_tottime_flags(capsys):
+    assert cli_main(["profile", "iso", "--cold", "--sort", "tottime"]) == 0
+    out = capsys.readouterr().out
+    assert "cold pass" in out
+    assert "internal time" in out
+
+
+def test_profile_rejects_bad_arguments(capsys):
+    assert cli_main(["profile"]) == 2
+    assert cli_main(["profile", "nope"]) == 2
+    assert cli_main(["profile", "iso", "--sort", "calls"]) == 2
+    assert cli_main(["profile", "iso", "--top", "0"]) == 2
+    assert cli_main(["profile", "iso", "--top", "abc"]) == 2
+    assert cli_main(["profile", "iso", "--workers", "0"]) == 2
