@@ -1,4 +1,4 @@
-"""PR 4 macro-benchmark: engine throughput before vs. after the fast paths.
+"""Macro-benchmarks: PR 4 engine throughput and PR 5 multicore extraction.
 
 Three wall-clock probes, chosen to exercise the layers the overhaul
 touched end to end:
@@ -21,6 +21,21 @@ with this same harness.  ``python benchmarks/perf/macro_bench.py
 the recorded baseline, and the speedups side by side.
 
 Run with ``--update-baseline`` only when re-basing on new hardware.
+
+``--suite pr5`` instead benchmarks the multicore extraction subsystem
+(:mod:`repro.parallel`): a paper-style vortex-core hunt — a 12-point λ2
+threshold sweep plus a whole-level isosurface over a two-timestep
+engine dataset.  The *legacy* side runs the only direct path that
+existed before PR 5 (eager per-pass block reads, λ2 recomputed from
+velocity for every threshold); the *current* side runs
+:class:`~repro.parallel.ParallelExtractor` at 4 workers over a
+shared-memory block store with λ2 precomputed once.  Both sides are
+measured live in the same process, so the reported speedup is
+machine-relative, and ``cpu_count`` is recorded: on a single-core box
+the win comes from shared residency, lazy ``<f4`` reads and derived-
+field reuse; real cores add process fan-out on top.  ``--check``
+enforces the 2.5x floor on the sweep; ``--json BENCH_PR5.json`` emits
+the report.
 """
 
 from __future__ import annotations
@@ -133,6 +148,167 @@ def measure() -> dict:
     }
 
 
+# --------------------------------------------------------------- PR 5
+#: the vortex-core hunt: λ2 thresholds swept from the field minimum up.
+PR5_THRESHOLDS = [round(-3.72 + 0.03 * i, 2) for i in range(12)]
+PR5_ISO = {"isovalue": 0.0, "scalar": "pressure"}
+PR5_RESOLUTION = 16
+PR5_TIMESTEPS = 2
+PR5_WORKERS = 4
+PR5_FLOORS = {"sweep": 2.5}
+
+
+def _pr5_store(root):
+    from repro.io import write_dataset
+    from repro.synth import build_engine
+
+    eng = build_engine(base_resolution=PR5_RESOLUTION, n_timesteps=PR5_TIMESTEPS)
+    return write_dataset(
+        root,
+        [eng.level(t) for t in range(PR5_TIMESTEPS)],
+        modeled_shapes=list(eng.spec.modeled_shapes),
+        times=eng.spec.times[:PR5_TIMESTEPS],
+    )
+
+
+def bench_pr5_legacy(store) -> tuple[float, list[int]]:
+    """The pre-PR-5 direct path: eager reads, λ2 recomputed per pass.
+
+    Returns (seconds, triangle counts per sweep point) — the counts pin
+    result equivalence against the parallel side.
+    """
+    from repro.algorithms.isosurface import (
+        active_cell_indices,
+        extract_block_isosurface,
+    )
+    from repro.algorithms.lambda2 import lambda2_field
+    from repro.grids.block import StructuredBlock
+    from repro.viz.mesh import TriangleMesh
+
+    counts = []
+    start = time.perf_counter()
+    for threshold in PR5_THRESHOLDS:
+        fragments = []
+        for t in range(PR5_TIMESTEPS):
+            for b in range(store.n_blocks):
+                block = store.read_block(t, b)
+                lam = lambda2_field(block)
+                scratch = StructuredBlock(
+                    block.coords, {"lambda2": lam},
+                    block_id=block.block_id, time_index=block.time_index,
+                )
+                active = active_cell_indices(scratch, "lambda2", threshold)
+                mesh = extract_block_isosurface(
+                    scratch, "lambda2", threshold, cell_indices=active
+                )
+                if not mesh.is_empty():
+                    fragments.append(mesh)
+        counts.append(TriangleMesh.merge(fragments).n_triangles)
+    fragments = []
+    for t in range(PR5_TIMESTEPS):
+        for b in range(store.n_blocks):
+            block = store.read_block(t, b)
+            mesh = extract_block_isosurface(
+                block, PR5_ISO["scalar"], PR5_ISO["isovalue"]
+            )
+            if not mesh.is_empty():
+                fragments.append(mesh)
+    counts.append(TriangleMesh.merge(fragments).n_triangles)
+    return time.perf_counter() - start, counts
+
+
+def bench_pr5_parallel(store, executor: str) -> tuple[float, list[int]]:
+    """The PR-5 path: shm store, λ2 precomputed once, 4-worker sweep."""
+    from repro.parallel import ParallelExtractor
+
+    counts = []
+    time_range = (0, PR5_TIMESTEPS)
+    start = time.perf_counter()
+    with ParallelExtractor(
+        store, workers=PR5_WORKERS, executor=executor, observe=False
+    ) as ext:
+        ext.precompute("lambda2")
+        for threshold in PR5_THRESHOLDS:
+            res = ext.run(
+                "vortex-dataman",
+                params={"threshold": threshold, "time_range": time_range},
+            )
+            counts.append(res.result.n_triangles)
+        res = ext.run("iso-dataman", params={**PR5_ISO, "time_range": time_range})
+        counts.append(res.result.n_triangles)
+    return time.perf_counter() - start, counts
+
+
+def measure_pr5(repeats: int = 2) -> dict:
+    import os
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = _pr5_store(tmp)
+        legacy, legacy_counts = min(
+            (bench_pr5_legacy(store) for _ in range(repeats)),
+            key=lambda pair: pair[0],
+        )
+        process, process_counts = min(
+            (bench_pr5_parallel(store, "process") for _ in range(repeats)),
+            key=lambda pair: pair[0],
+        )
+        serial, serial_counts = min(
+            (bench_pr5_parallel(store, "serial") for _ in range(repeats)),
+            key=lambda pair: pair[0],
+        )
+    if not (legacy_counts == process_counts == serial_counts):
+        raise AssertionError(
+            "parallel sweep results diverged from the legacy path: "
+            f"{legacy_counts} vs {process_counts} vs {serial_counts}"
+        )
+    return {
+        "cpu_count": os.cpu_count(),
+        "workers": PR5_WORKERS,
+        "thresholds": PR5_THRESHOLDS,
+        "triangle_counts": legacy_counts,
+        "legacy_sweep_seconds": legacy,
+        "process_sweep_seconds": process,
+        "serial_sweep_seconds": serial,
+        "speedup": {
+            "sweep": legacy / process,
+            "sweep_serial_executor": legacy / serial,
+        },
+    }
+
+
+def main_pr5(args) -> int:
+    current = measure_pr5()
+    ratios = current["speedup"]
+    report = {
+        "suite": "pr5",
+        "machine": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": current["cpu_count"],
+        "workers": current["workers"],
+        "current": current,
+        "floors": PR5_FLOORS,
+        "meets_floors": all(ratios[k] >= v for k, v in PR5_FLOORS.items()),
+    }
+    print(
+        f"pr5 sweep ({len(PR5_THRESHOLDS)} thresholds + iso, "
+        f"{current['cpu_count']} cpus): "
+        f"legacy={current['legacy_sweep_seconds']:.3f}s "
+        f"process@{PR5_WORKERS}={current['process_sweep_seconds']:.3f}s "
+        f"({ratios['sweep']:.2f}x) "
+        f"serial={current['serial_sweep_seconds']:.3f}s "
+        f"({ratios['sweep_serial_executor']:.2f}x)"
+    )
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.json}")
+    if args.check and not report["meets_floors"]:
+        print("FAIL: PR-5 speedup floors not met", file=sys.stderr)
+        return 1
+    return 0
+
+
 def speedups(current: dict) -> dict:
     out = {}
     for key, base in BASELINE.items():
@@ -153,8 +329,15 @@ def main(argv=None) -> int:
         "--update-baseline", action="store_true",
         help="print a BASELINE dict for re-basing on new hardware",
     )
+    parser.add_argument(
+        "--suite", choices=("pr4", "pr5"), default="pr4",
+        help="pr4: engine throughput vs pinned baseline; "
+        "pr5: multicore extraction vs the legacy serial path",
+    )
     args = parser.parse_args(argv)
 
+    if args.suite == "pr5":
+        return main_pr5(args)
     current = measure()
     if args.update_baseline:
         print("BASELINE =", json.dumps(current, indent=4))

@@ -22,6 +22,7 @@ paper-figure reproductions.
 """
 
 from .core.session import CommandResult, ViracochaSession
+from .parallel import ParallelExtractor
 from .synth.engine import build_engine
 from .synth.propfan import build_propfan
 
@@ -29,6 +30,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CommandResult",
+    "ParallelExtractor",
     "ViracochaSession",
     "build_engine",
     "build_propfan",

@@ -16,6 +16,9 @@ Usage::
     python -m repro profile <cmd> [--top N] [--sort cumulative|tottime]
                                   [--workers N] [--dataset engine|propfan]
                                   [--cold]
+    python -m repro extract <cmd> [--data engine|propfan|path-to-store]
+                                  [--workers N] [--executor serial|process]
+                                  [--precompute]
 
 ``trace`` runs one command on a small simulated cluster and exports a
 Chrome ``trace_event`` JSON (open in Perfetto / about:tracing) plus an
@@ -50,6 +53,10 @@ USAGE = {
     "profile": (
         "python -m repro profile <cmd> [--top N] [--sort cumulative|tottime] "
         "[--workers N] [--dataset engine|propfan] [--cold]"
+    ),
+    "extract": (
+        "python -m repro extract <cmd> [--data engine|propfan|path-to-store] "
+        "[--workers N] [--executor serial|process] [--precompute]"
     ),
 }
 
@@ -151,6 +158,8 @@ def main(argv: list[str] | None = None) -> int:
             level = DatasetStore(name).read_level(time_index)
         print(summarize_dataset(level).format())
         return 0
+    if mode == "extract":
+        return _extract_main(args)
     if mode == "trace":
         return _trace_main(args)
     if mode == "stats":
@@ -207,7 +216,7 @@ def _obs_flags(args: list[str]) -> tuple[list[str], dict]:
             if "=" in key:
                 key, value = key.split("=", 1)
                 flags[key] = value
-            elif key in {"timeline", "prometheus", "cold"}:
+            elif key in {"timeline", "prometheus", "cold", "precompute"}:
                 flags[key] = True
             else:
                 if i + 1 >= len(args):
@@ -248,6 +257,68 @@ def _parse_workers(flags: dict) -> int | None:
         print(f"--workers must be a positive integer, got {raw!r}")
         return None
     return n
+
+
+def _extract_main(args: list[str]) -> int:
+    """Run one command for real on local cores (repro.parallel)."""
+    positional, flags = _obs_flags(args)
+    if flags.get("error") or not positional:
+        print(f"usage: {USAGE['extract']}")
+        return 2
+    try:
+        command, params = _obs_command_spec(positional[0])
+    except KeyError:
+        print(f"unknown command {positional[0]!r}; try `python -m repro commands`")
+        return 2
+    n_workers = _parse_workers(flags)
+    if n_workers is None:
+        return 2
+    executor = str(flags.get("executor", "process"))
+    from .parallel import EXECUTORS, ParallelExtractor
+
+    if executor not in EXECUTORS:
+        print(f"--executor must be one of {'|'.join(EXECUTORS)}, got {executor!r}")
+        return 2
+    data_name = str(flags.get("data", "engine"))
+    if data_name in {"engine", "propfan"}:
+        from .synth import build_engine, build_propfan
+
+        data = {"engine": build_engine, "propfan": build_propfan}[data_name](
+            base_resolution=4, n_timesteps=2
+        )
+    else:
+        from .io import DatasetStore
+
+        try:
+            data = DatasetStore(data_name)
+        except FileNotFoundError as exc:
+            print(exc)
+            return 2
+    with ParallelExtractor(data, workers=n_workers, executor=executor) as ext:
+        if flags.get("precompute"):
+            n = ext.precompute("lambda2")
+            print(f"precomputed lambda2 for {n} blocks "
+                  f"({ext.store.nbytes} shared bytes)")
+        res = ext.run(command, params=params)
+        print(f"== {command} on {data_name} "
+              f"({executor} executor, {res.group_size} workers) ==")
+        print(f"wall time:   {res.wall_seconds * 1e3:.1f} ms "
+              f"(shares: "
+              + ", ".join(f"{s * 1e3:.1f}" for s in res.share_seconds)
+              + " ms)")
+        print(f"shares:      {len(res.shares)}  payloads: {res.n_payloads}  "
+              f"block loads: {res.n_loads}")
+        merged = res.result
+        if hasattr(merged, "n_triangles"):
+            print(f"result:      mesh with {merged.n_triangles} triangles, "
+                  f"{merged.n_vertices} vertices")
+        elif isinstance(merged, list):
+            print(f"result:      {len(merged)} payloads")
+        else:
+            print(f"result:      {merged!r}")
+        print(f"shared mem:  {ext.store.n_segments} segments, "
+              f"{ext.store.nbytes} bytes")
+    return 0
 
 
 def _trace_main(args: list[str]) -> int:

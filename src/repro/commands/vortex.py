@@ -62,7 +62,13 @@ class VortexDataManCommand(Command):
             handle = ctx.handle(t, bid)
 
             def work(b: StructuredBlock = block):
-                lam = lambda2_field(b, velocity)
+                # A precomputed "lambda2" field (e.g. derived fields in
+                # the shared-memory store, reused across a threshold
+                # sweep) short-circuits the expensive eigenvalue pass.
+                if b.has_field("lambda2"):
+                    lam = b.field("lambda2")
+                else:
+                    lam = lambda2_field(b, velocity)
                 scratch = StructuredBlock(
                     b.coords, {"lambda2": lam}, block_id=b.block_id,
                     time_index=b.time_index,

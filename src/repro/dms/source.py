@@ -89,15 +89,29 @@ class SyntheticSource:
 
 
 class StoreSource:
-    """Serves items from an on-disk :class:`DatasetStore`."""
+    """Serves items from an on-disk :class:`DatasetStore`.
 
-    def __init__(self, store: DatasetStore):
+    Payloads materialize through the zero-copy path: mmap-backed
+    buffers parsed by :func:`~repro.io.format.block_from_buffer` with
+    lazy per-field float64 upcasts, so a forced load (and the proxy's
+    node-to-node transfer path that re-materializes the item) never
+    pays the eager ``<f4`` → float64 doubling for fields the command
+    does not touch.  Set ``lazy=False`` to restore eager reads.
+    """
+
+    def __init__(self, store: DatasetStore, lazy: bool = True):
         self.store = store
         self.name = store.name
+        self.lazy = lazy
 
     def get(self, item: ItemName) -> StructuredBlock:
         t, b = _indices(item)
-        return self.store.read_block(t, b)
+        return self.store.read_block(t, b, lazy=self.lazy)
+
+    def get_bytes(self, item: ItemName) -> memoryview:
+        """The item's serialized payload (mmap-backed, no copies)."""
+        t, b = _indices(item)
+        return self.store.block_buffer(t, b)
 
     def modeled_bytes(self, item: ItemName) -> int:
         _, b = _indices(item)

@@ -12,12 +12,13 @@ prefetching in the DMS (the paper's "block").
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 import numpy as np
 
-__all__ = ["StructuredBlock", "BlockHandle"]
+__all__ = ["StructuredBlock", "LazyStructuredBlock", "BlockHandle"]
 
 
 class StructuredBlock:
@@ -86,6 +87,17 @@ class StructuredBlock:
     def nbytes(self) -> int:
         """Actual in-memory payload size of coordinates plus fields."""
         return self.coords.nbytes + sum(f.nbytes for f in self.fields.values())
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Bytes actually resident for this block right now.
+
+        Equal to :attr:`nbytes` for an eager block; a
+        :class:`LazyStructuredBlock` counts its raw (``<f4``) views at
+        their true size and only charges float64 for fields that were
+        materialized.
+        """
+        return self.nbytes
 
     # ------------------------------------------------------------ fields
     def set_field(self, name: str, data: np.ndarray) -> None:
@@ -186,6 +198,140 @@ class StructuredBlock:
             f"StructuredBlock(id={self.block_id}, t={self.time_index}, "
             f"shape={self.shape}, fields={sorted(self.fields)})"
         )
+
+
+class _LazyFieldMap(MutableMapping):
+    """Field mapping that upcasts raw ``<f4`` views on first access.
+
+    Raw arrays stay exactly as parsed (typically read-only
+    ``np.frombuffer`` views over an mmap or shared-memory buffer);
+    ``map[name]`` materializes a float64 copy once and caches it.  A raw
+    array that is already float64 (derived fields stored at full
+    precision) is returned as-is — zero-copy, still read-only.
+    """
+
+    __slots__ = ("_raw", "_materialized")
+
+    def __init__(self, raw: Mapping[str, np.ndarray] | None = None):
+        self._raw: dict[str, np.ndarray] = dict(raw or {})
+        self._materialized: dict[str, np.ndarray] = {}
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._materialized[name]
+        except KeyError:
+            pass
+        raw = self._raw[name]  # KeyError propagates: unknown field
+        # float32 -> fresh writable float64 copy; float64 -> no copy.
+        data = np.asarray(raw, dtype=np.float64)
+        self._materialized[name] = data
+        return data
+
+    def __setitem__(self, name: str, data: np.ndarray) -> None:
+        self._materialized[name] = data
+
+    def __delitem__(self, name: str) -> None:
+        found = name in self._raw or name in self._materialized
+        self._raw.pop(name, None)
+        self._materialized.pop(name, None)
+        if not found:
+            raise KeyError(name)
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._raw
+        for name in self._materialized:
+            if name not in self._raw:
+                yield name
+
+    def __len__(self) -> int:
+        extra = sum(1 for n in self._materialized if n not in self._raw)
+        return len(self._raw) + extra
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._raw or name in self._materialized
+
+    def raw_view(self, name: str) -> np.ndarray | None:
+        """The unmaterialized backing array, if the field has one."""
+        return self._raw.get(name)
+
+    @property
+    def resident_nbytes(self) -> int:
+        total = 0
+        for name, raw in self._raw.items():
+            mat = self._materialized.get(name)
+            total += raw.nbytes if mat is None else mat.nbytes
+        for name, mat in self._materialized.items():
+            if name not in self._raw:
+                total += mat.nbytes
+        return total
+
+
+class LazyStructuredBlock(StructuredBlock):
+    """A block whose fields materialize to float64 only when touched.
+
+    Built by the zero-copy deserialization paths
+    (:func:`repro.io.format.block_from_buffer`, the mmap-backed
+    :meth:`repro.io.DatasetStore.read_block` and shared-memory views):
+    ``raw_fields`` are the on-disk ``<f4`` payloads as read-only views,
+    upcast lazily per field, so resident bytes stay at the file's true
+    size until an algorithm actually needs a field.  Coordinates are
+    float64 on disk and stay zero-copy (read-only) views throughout.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        raw_fields: Mapping[str, np.ndarray] | None = None,
+        block_id: int = 0,
+        time_index: int = 0,
+    ):
+        super().__init__(coords, None, block_id=block_id, time_index=time_index)
+        lazy = _LazyFieldMap()
+        for name, raw in (raw_fields or {}).items():
+            raw = np.asarray(raw)
+            if raw.shape[:3] != self.shape or raw.ndim not in (3, 4):
+                raise ValueError(
+                    f"raw field {name!r} shape {raw.shape} incompatible with "
+                    f"block shape {self.shape}"
+                )
+            lazy._raw[name] = raw
+        self.fields = lazy
+
+    @property
+    def nbytes(self) -> int:
+        # The float64-equivalent payload size (what an eager read would
+        # hold), computed without materializing anything.
+        total = self.coords.nbytes
+        for name in self.fields:
+            raw = self.fields.raw_view(name)
+            arr = raw if raw is not None else self.fields[name]
+            total += arr.size * np.dtype(np.float64).itemsize
+        return total
+
+    @property
+    def resident_nbytes(self) -> int:
+        return self.coords.nbytes + self.fields.resident_nbytes
+
+    def attach_raw_field(self, name: str, raw: np.ndarray) -> None:
+        """Attach a backing array as a lazy (unmaterialized) field.
+
+        Used by the shared-memory store to graft derived fields (a
+        precomputed λ2 scalar, say) onto a block without copying: the
+        array stays a view over its segment and goes through the same
+        on-access path as the on-disk fields.
+        """
+        raw = np.asarray(raw)
+        if raw.shape[:3] != self.shape or raw.ndim not in (3, 4):
+            raise ValueError(
+                f"raw field {name!r} shape {raw.shape} incompatible with "
+                f"block shape {self.shape}"
+            )
+        self.fields._raw[name] = raw
+        self.fields._materialized.pop(name, None)
+
+    def materialized_fields(self) -> list[str]:
+        """Names of fields that have been upcast to float64 so far."""
+        return sorted(self.fields._materialized)
 
 
 @dataclass(frozen=True)

@@ -2,7 +2,9 @@
 
 from .format import (
     FormatError,
+    block_from_buffer,
     block_from_bytes,
+    block_nbytes,
     block_to_bytes,
     read_block,
     write_block,
@@ -20,7 +22,9 @@ from .geometry_io import (
 
 __all__ = [
     "FormatError",
+    "block_from_buffer",
     "block_from_bytes",
+    "block_nbytes",
     "block_to_bytes",
     "read_block",
     "write_block",

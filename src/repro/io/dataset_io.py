@@ -18,6 +18,7 @@ without opening block files.
 from __future__ import annotations
 
 import json
+import mmap
 from pathlib import Path
 from typing import Sequence
 
@@ -25,7 +26,7 @@ import numpy as np
 
 from ..grids.block import BlockHandle, StructuredBlock
 from ..grids.multiblock import MultiBlockDataset, TimeSeries
-from .format import FormatError, read_block, write_block
+from .format import FormatError, block_from_buffer, write_block
 
 __all__ = ["DatasetStore", "write_dataset", "block_filename"]
 
@@ -119,13 +120,37 @@ class DatasetStore:
         if not 0 <= block_id < self.n_blocks:
             raise IndexError(f"block id {block_id} out of range 0..{self.n_blocks - 1}")
 
-    def read_block(self, time_index: int, block_id: int) -> StructuredBlock:
+    def block_buffer(self, time_index: int, block_id: int) -> memoryview:
+        """The raw serialized block as an mmap-backed memoryview.
+
+        This is the fast path that feeds shared memory and the
+        zero-copy readers: the file's pages are mapped, not copied
+        through a ``BytesIO``.  The mapping stays alive as long as the
+        returned memoryview (or any NumPy view into it) does.
+        """
         path = self.block_path(time_index, block_id)
         with open(path, "rb") as fh:
-            return read_block(fh)
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        return memoryview(mapped)
 
-    def read_level(self, time_index: int) -> MultiBlockDataset:
-        blocks = [self.read_block(time_index, b) for b in range(self.n_blocks)]
+    def read_block(
+        self, time_index: int, block_id: int, lazy: bool = False
+    ) -> StructuredBlock:
+        """One block, deserialized via mmap (never a stream copy).
+
+        ``lazy=True`` returns a zero-copy
+        :class:`~repro.grids.block.LazyStructuredBlock` whose arrays
+        are read-only views over the mapped file and whose ``<f4``
+        fields upcast to float64 only on first access.  The default
+        materializes everything eagerly (writable arrays, no aliasing),
+        matching the historical behavior.
+        """
+        return block_from_buffer(self.block_buffer(time_index, block_id), lazy=lazy)
+
+    def read_level(self, time_index: int, lazy: bool = False) -> MultiBlockDataset:
+        blocks = [
+            self.read_block(time_index, b, lazy=lazy) for b in range(self.n_blocks)
+        ]
         time = self.times[time_index] if self.times else float(time_index)
         return MultiBlockDataset(blocks, name=self.name, time=time)
 

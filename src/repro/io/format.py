@@ -19,52 +19,200 @@ Layout::
     -- payloads --
     coords float64[ni*nj*nk*3]
     each field float32[ni*nj*nk*ncomp]
+
+Two deserialization modes exist everywhere bytes come in:
+
+* ``lazy=False`` (default) — the historical behavior: every payload is
+  copied out of the buffer and fields are upcast to float64 eagerly.
+  Arrays are writable and independent of the source buffer.
+* ``lazy=True`` — zero-copy: coordinates and fields are *read-only*
+  ``np.frombuffer`` views straight into the source buffer (bytes, mmap
+  or shared memory) and fields stay ``<f4`` until first accessed
+  through the returned :class:`~repro.grids.block.LazyStructuredBlock`,
+  which upcasts per field on demand.  Resident bytes match the file,
+  not double it.
 """
 
 from __future__ import annotations
 
-import io
 import struct
 from typing import BinaryIO
 
 import numpy as np
 
-from ..grids.block import StructuredBlock
+from ..grids.block import LazyStructuredBlock, StructuredBlock
 
-__all__ = ["FormatError", "write_block", "read_block", "block_to_bytes", "block_from_bytes"]
+__all__ = [
+    "FormatError",
+    "write_block",
+    "read_block",
+    "block_to_bytes",
+    "block_from_bytes",
+    "block_from_buffer",
+    "block_nbytes",
+]
 
 MAGIC = b"VIRB"
 VERSION = 1
 _HEADER = struct.Struct("<4sIIIIIII")
+_U32 = struct.Struct("<I")
+
+
+def _field_specs(block: StructuredBlock) -> list[tuple[str, bytes, int]]:
+    specs = []
+    for name in sorted(block.fields):
+        data = block.fields[name]
+        ncomp = 1 if data.ndim == 3 else data.shape[-1]
+        specs.append((name, name.encode("utf-8"), ncomp))
+    return specs
 
 
 class FormatError(ValueError):
     """Raised for malformed or truncated block files."""
 
 
+def block_nbytes(block: StructuredBlock) -> int:
+    """Exact serialized size of ``block`` without serializing it."""
+    total = _HEADER.size
+    npts = block.n_points
+    for _name, raw, ncomp in _field_specs(block):
+        total += 8 + len(raw)  # name_len + name + ncomp
+    total += npts * 3 * 8
+    for _name, _raw, ncomp in _field_specs(block):
+        total += npts * ncomp * 4
+    return total
+
+
 def write_block(fh: BinaryIO, block: StructuredBlock) -> int:
     """Serialize ``block``; returns the number of bytes written."""
     ni, nj, nk = block.shape
-    names = sorted(block.fields)
+    specs = _field_specs(block)
     written = 0
     written += fh.write(
         _HEADER.pack(
-            MAGIC, VERSION, block.block_id, block.time_index, ni, nj, nk, len(names)
+            MAGIC, VERSION, block.block_id, block.time_index, ni, nj, nk, len(specs)
         )
     )
-    for name in names:
-        raw = name.encode("utf-8")
-        data = block.fields[name]
-        ncomp = 1 if data.ndim == 3 else data.shape[-1]
-        written += fh.write(struct.pack("<I", len(raw)))
+    for name, raw, ncomp in specs:
+        written += fh.write(_U32.pack(len(raw)))
         written += fh.write(raw)
-        written += fh.write(struct.pack("<I", ncomp))
+        written += fh.write(_U32.pack(ncomp))
     written += fh.write(np.ascontiguousarray(block.coords, dtype="<f8").tobytes())
-    for name in names:
+    for name, _raw, _ncomp in specs:
         written += fh.write(
             np.ascontiguousarray(block.fields[name], dtype="<f4").tobytes()
         )
     return written
+
+
+def block_to_bytes(block: StructuredBlock) -> bytes:
+    """Serialize into one flat buffer (no ``BytesIO`` round trip).
+
+    The buffer is assembled once at its exact final size and the array
+    payloads are written in place through a memoryview — contiguous
+    float64 coordinates and float32 fields are copied exactly once.
+    """
+    ni, nj, nk = block.shape
+    specs = _field_specs(block)
+    out = bytearray(block_nbytes(block))
+    view = memoryview(out)
+    _HEADER.pack_into(
+        out, 0, MAGIC, VERSION, block.block_id, block.time_index, ni, nj, nk, len(specs)
+    )
+    offset = _HEADER.size
+    for name, raw, ncomp in specs:
+        _U32.pack_into(out, offset, len(raw))
+        offset += 4
+        out[offset : offset + len(raw)] = raw
+        offset += len(raw)
+        _U32.pack_into(out, offset, ncomp)
+        offset += 4
+    npts = ni * nj * nk
+    coords_bytes = npts * 3 * 8
+    target = np.frombuffer(view[offset : offset + coords_bytes], dtype="<f8")
+    np.copyto(target.reshape(ni, nj, nk, 3), block.coords, casting="same_kind")
+    offset += coords_bytes
+    for name, _raw, ncomp in specs:
+        data = block.fields[name]
+        nbytes = npts * ncomp * 4
+        target = np.frombuffer(view[offset : offset + nbytes], dtype="<f4")
+        np.copyto(target.reshape(data.shape), data, casting="same_kind")
+        offset += nbytes
+    view.release()
+    return bytes(out)
+
+
+def _parse_directory(buf, offset: int, nfields: int, total: int):
+    specs: list[tuple[str, int]] = []
+    for _ in range(nfields):
+        if offset + 4 > total:
+            raise FormatError("truncated block file: directory cut short")
+        (name_len,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        if offset + name_len + 4 > total:
+            raise FormatError("truncated block file: directory cut short")
+        name = bytes(buf[offset : offset + name_len]).decode("utf-8")
+        offset += name_len
+        (ncomp,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        if ncomp not in (1, 3):
+            raise FormatError(f"field {name!r} has unsupported ncomp {ncomp}")
+        specs.append((name, ncomp))
+    return specs, offset
+
+
+def block_from_buffer(buf, lazy: bool = False) -> StructuredBlock:
+    """Deserialize one block from any buffer (bytes, mmap, shm).
+
+    With ``lazy=True`` every array is a zero-copy ``np.frombuffer``
+    view into ``buf`` — read-only, ``<f4`` fields upcast on access.
+    Trailing bytes beyond the block are ignored, so page-aligned
+    buffers (shared memory rounds sizes up) parse cleanly.
+    """
+    total = len(buf)
+    if total < _HEADER.size:
+        raise FormatError(
+            f"truncated block file: wanted {_HEADER.size} bytes, got {total}"
+        )
+    magic, version, block_id, time_index, ni, nj, nk, nfields = _HEADER.unpack_from(
+        buf, 0
+    )
+    if magic != MAGIC:
+        raise FormatError(f"bad magic {magic!r}, not a block file")
+    if version != VERSION:
+        raise FormatError(f"unsupported version {version}")
+    specs, offset = _parse_directory(buf, _HEADER.size, nfields, total)
+    npts = ni * nj * nk
+    coords_bytes = npts * 3 * 8
+    if offset + coords_bytes > total:
+        raise FormatError(
+            f"truncated block file: wanted {coords_bytes} coordinate bytes"
+        )
+    coords = np.frombuffer(buf, dtype="<f8", count=npts * 3, offset=offset).reshape(
+        ni, nj, nk, 3
+    )
+    offset += coords_bytes
+    raw_fields: dict[str, np.ndarray] = {}
+    for name, ncomp in specs:
+        nbytes = npts * ncomp * 4
+        if offset + nbytes > total:
+            raise FormatError(
+                f"truncated block file: wanted {nbytes} bytes for field {name!r}"
+            )
+        flat = np.frombuffer(buf, dtype="<f4", count=npts * ncomp, offset=offset)
+        shape = (ni, nj, nk) if ncomp == 1 else (ni, nj, nk, 3)
+        raw_fields[name] = flat.reshape(shape)
+        offset += nbytes
+    if lazy:
+        return LazyStructuredBlock(
+            coords, raw_fields, block_id=block_id, time_index=time_index
+        )
+    return StructuredBlock(
+        coords.astype(np.float64),
+        {name: raw.astype(np.float64) for name, raw in raw_fields.items()},
+        block_id=block_id,
+        time_index=time_index,
+    )
 
 
 def _read_exact(fh: BinaryIO, n: int) -> bytes:
@@ -74,20 +222,24 @@ def _read_exact(fh: BinaryIO, n: int) -> bytes:
     return data
 
 
-def read_block(fh: BinaryIO) -> StructuredBlock:
-    """Deserialize one block from a binary stream."""
-    magic, version, block_id, time_index, ni, nj, nk, nfields = _HEADER.unpack(
-        _read_exact(fh, _HEADER.size)
-    )
+def read_block(fh: BinaryIO, lazy: bool = False) -> StructuredBlock:
+    """Deserialize one block from a binary stream.
+
+    ``lazy=True`` defers the float64 upcast of each field until first
+    access (the views alias the read buffer, which is immutable bytes —
+    see :func:`block_from_buffer` for the semantics).
+    """
+    header = _read_exact(fh, _HEADER.size)
+    magic, version, block_id, time_index, ni, nj, nk, nfields = _HEADER.unpack(header)
     if magic != MAGIC:
         raise FormatError(f"bad magic {magic!r}, not a block file")
     if version != VERSION:
         raise FormatError(f"unsupported version {version}")
     specs: list[tuple[str, int]] = []
     for _ in range(nfields):
-        (name_len,) = struct.unpack("<I", _read_exact(fh, 4))
+        (name_len,) = _U32.unpack(_read_exact(fh, 4))
         name = _read_exact(fh, name_len).decode("utf-8")
-        (ncomp,) = struct.unpack("<I", _read_exact(fh, 4))
+        (ncomp,) = _U32.unpack(_read_exact(fh, 4))
         if ncomp not in (1, 3):
             raise FormatError(f"field {name!r} has unsupported ncomp {ncomp}")
         specs.append((name, ncomp))
@@ -95,21 +247,22 @@ def read_block(fh: BinaryIO) -> StructuredBlock:
     coords = np.frombuffer(_read_exact(fh, npts * 3 * 8), dtype="<f8").reshape(
         ni, nj, nk, 3
     )
-    fields = {}
+    raw_fields: dict[str, np.ndarray] = {}
     for name, ncomp in specs:
         flat = np.frombuffer(_read_exact(fh, npts * ncomp * 4), dtype="<f4")
         shape = (ni, nj, nk) if ncomp == 1 else (ni, nj, nk, 3)
-        fields[name] = flat.astype(np.float64).reshape(shape)
+        raw_fields[name] = flat.reshape(shape)
+    if lazy:
+        return LazyStructuredBlock(
+            coords, raw_fields, block_id=block_id, time_index=time_index
+        )
     return StructuredBlock(
-        coords.astype(np.float64), fields, block_id=block_id, time_index=time_index
+        coords.astype(np.float64),
+        {name: raw.astype(np.float64) for name, raw in raw_fields.items()},
+        block_id=block_id,
+        time_index=time_index,
     )
 
 
-def block_to_bytes(block: StructuredBlock) -> bytes:
-    buf = io.BytesIO()
-    write_block(buf, block)
-    return buf.getvalue()
-
-
-def block_from_bytes(data: bytes) -> StructuredBlock:
-    return read_block(io.BytesIO(data))
+def block_from_bytes(data: bytes, lazy: bool = False) -> StructuredBlock:
+    return block_from_buffer(data, lazy=lazy)

@@ -26,11 +26,17 @@ __all__ = ["iter_blocks", "BoundedBlockReader", "isosurface_out_of_core"]
 
 
 def iter_blocks(
-    store: DatasetStore, time_index: int
+    store: DatasetStore, time_index: int, lazy: bool = True
 ) -> Iterator[StructuredBlock]:
-    """Yield the blocks of one time level, one resident at a time."""
+    """Yield the blocks of one time level, one resident at a time.
+
+    Blocks are lazy by default on this path: out-of-core exists to
+    bound residency, and the eager ``<f4`` → float64 upcast used to
+    double every block's resident bytes on read, fields the extraction
+    never touches included.
+    """
     for block_id in range(store.n_blocks):
-        yield store.read_block(time_index, block_id)
+        yield store.read_block(time_index, block_id, lazy=lazy)
 
 
 class BoundedBlockReader:
@@ -38,14 +44,18 @@ class BoundedBlockReader:
 
     The direct-API analogue of a data proxy's L1 cache: at most
     ``max_blocks`` blocks stay in memory; everything else is re-read
-    from disk on demand.
+    from disk on demand.  Reads are lazy by default (zero-copy mmap
+    views, per-field float64 upcast on access), so
+    :attr:`resident_nbytes` reports what is truly held — the file-sized
+    ``<f4`` payloads plus only the fields that were materialized.
     """
 
-    def __init__(self, store: DatasetStore, max_blocks: int = 4):
+    def __init__(self, store: DatasetStore, max_blocks: int = 4, lazy: bool = True):
         if max_blocks < 1:
             raise ValueError(f"max_blocks must be >= 1, got {max_blocks}")
         self.store = store
         self.max_blocks = max_blocks
+        self.lazy = lazy
         self._resident: OrderedDict[tuple[int, int], StructuredBlock] = OrderedDict()
         self.reads = 0
         self.hits = 0
@@ -54,6 +64,11 @@ class BoundedBlockReader:
     def resident_count(self) -> int:
         return len(self._resident)
 
+    @property
+    def resident_nbytes(self) -> int:
+        """True bytes held right now (lazy fields at ``<f4`` size)."""
+        return sum(b.resident_nbytes for b in self._resident.values())
+
     def get(self, time_index: int, block_id: int) -> StructuredBlock:
         key = (time_index, block_id)
         block = self._resident.get(key)
@@ -61,7 +76,7 @@ class BoundedBlockReader:
             self.hits += 1
             self._resident.move_to_end(key)
             return block
-        block = self.store.read_block(time_index, block_id)
+        block = self.store.read_block(time_index, block_id, lazy=self.lazy)
         self.reads += 1
         self._resident[key] = block
         while len(self._resident) > self.max_blocks:

@@ -242,6 +242,27 @@ class SpanTracer:
         finally:
             self.end(s)
 
+    def record_interval(
+        self,
+        kind: str,
+        name: str | None = None,
+        t_start: float = 0.0,
+        t_end: float = 0.0,
+        node: int = 0,
+        parent: Span | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record one already-measured interval in a single call.
+
+        The explicit-time sibling of :meth:`span`, for intervals clocked
+        somewhere this tracer isn't — worker *processes* report their
+        share wall times (``time.perf_counter`` is CLOCK_MONOTONIC on
+        Linux, comparable across processes on one host) and the parent
+        imports them here so multicore runs land in the same trace.
+        """
+        span = self.begin(kind, name, node=node, parent=parent, t=t_start, **attrs)
+        return self.end(span, t=t_end)
+
     # ------------------------------------------------------------- query
     def __len__(self) -> int:
         return len(self.spans)

@@ -1,0 +1,30 @@
+"""Multicore execution of post-processing commands.
+
+The DES runtime (:mod:`repro.core`) *models* Viracocha's parallel work
+group under simulated time; this package *runs* it: the same command
+classes, the same planned shares, executed on real cores.  Blocks live
+once in :class:`ShmBlockStore` shared-memory segments (the ``<f4``
+on-disk layout, zero-copy lazy views in every process);
+:class:`ProcessWorkerPool` fans shares out to worker processes;
+:class:`ParallelExtractor` fronts it all behind an
+``executor="serial"|"process"`` knob with results byte-identical across
+executors by construction.
+"""
+
+from .api import EXECUTORS, ParallelExtractor, ParallelResult
+from .pool import ProcessWorkerPool, ShareResult, WorkerPoolError, pick_start_method
+from .runner import DirectRunner, ShareRun
+from .shm import ShmBlockStore
+
+__all__ = [
+    "EXECUTORS",
+    "ParallelExtractor",
+    "ParallelResult",
+    "ProcessWorkerPool",
+    "ShareResult",
+    "WorkerPoolError",
+    "pick_start_method",
+    "DirectRunner",
+    "ShareRun",
+    "ShmBlockStore",
+]

@@ -1,0 +1,339 @@
+"""High-level multicore extraction: plan like the scheduler, run on cores.
+
+:class:`ParallelExtractor` is the direct-execution sibling of the
+simulated :class:`~repro.core.scheduler.Scheduler`: it builds the same
+:class:`~repro.core.commands.CommandContext`, asks the same command
+classes to :meth:`plan` the same shares, then executes them for real —
+either in-process (``executor="serial"``) or fanned out to worker
+processes over a shared-memory block store (``executor="process"``).
+Both executors interpret identical op streams over identical bytes, so
+their merged results are byte-identical; the serial executor is the
+reference the equivalence tests pin the process pool against.
+
+Observability lands in :mod:`repro.obs`: every run opens a wall-clock
+span, each share's worker-measured interval is imported as a child span
+(``parallel-share``), and counters/histograms for shares, block loads
+and share seconds accumulate in a :class:`~repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..core.commands import Command, CommandContext, CommandRegistry
+from ..core.costs import DEFAULT_COSTS, CostModel
+from ..io.dataset_io import DatasetStore
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanTracer
+from .pool import ProcessWorkerPool, ShareResult, pick_start_method
+from .runner import DirectRunner, ShareRun
+from .shm import ShmBlockStore
+
+__all__ = ["ParallelExtractor", "ParallelResult", "EXECUTORS"]
+
+EXECUTORS = ("serial", "process")
+
+
+@dataclass
+class ParallelResult:
+    """One extraction: the merged result plus its execution record."""
+
+    command: str
+    executor: str
+    group_size: int
+    result: Any
+    shares: list[ShareResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def n_payloads(self) -> int:
+        return sum(len(s.payloads) for s in self.shares)
+
+    @property
+    def n_loads(self) -> int:
+        return sum(s.n_loads for s in self.shares)
+
+    @property
+    def share_seconds(self) -> list[float]:
+        return [s.seconds for s in self.shares]
+
+
+def _as_shm_store(data: Any, time_indices: Iterable[int] | None) -> tuple[ShmBlockStore, bool]:
+    """Coerce any supported dataset handle into a shared-memory store.
+
+    Returns ``(store, owned)`` — an already-shared store is borrowed,
+    everything else is loaded and owned (cleaned up on ``close``).
+    """
+    if isinstance(data, ShmBlockStore):
+        return data, False
+    if isinstance(data, DatasetStore):
+        return ShmBlockStore.from_store(data, time_indices), True
+    if hasattr(data, "item_sequence") and hasattr(data, "handles"):
+        return ShmBlockStore.from_source(data, time_indices), True
+    if hasattr(data, "build_block") and hasattr(data, "spec"):
+        from ..dms.source import SyntheticSource
+
+        return ShmBlockStore.from_source(SyntheticSource(data), time_indices), True
+    raise TypeError(
+        f"cannot build a ShmBlockStore from {type(data).__name__}; "
+        "pass a DatasetStore, a BlockSource, a SyntheticDataset or a "
+        "ShmBlockStore"
+    )
+
+
+class ParallelExtractor:
+    """Run post-processing commands on real cores over shared memory.
+
+    Parameters
+    ----------
+    data:
+        A :class:`~repro.io.DatasetStore`, any
+        :class:`~repro.dms.source.BlockSource`, a
+        :class:`~repro.synth.base.SyntheticDataset` or a prebuilt
+        :class:`ShmBlockStore`.
+    workers:
+        Work-group size (defaults to ``os.cpu_count()``).
+    executor:
+        ``"process"`` fans shares out to worker processes;
+        ``"serial"`` runs them in-process over the same shared store.
+    """
+
+    def __init__(
+        self,
+        data: Any,
+        workers: int | None = None,
+        executor: str = "process",
+        registry: CommandRegistry | None = None,
+        costs: CostModel = DEFAULT_COSTS,
+        time_indices: Iterable[int] | None = None,
+        observe: bool = True,
+        start_method: str | None = None,
+    ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store, self._owns_store = _as_shm_store(data, time_indices)
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.executor = executor
+        if registry is None:
+            from ..commands import default_registry
+
+            registry = default_registry()
+        self.registry = registry
+        self.costs = costs
+        self.start_method = pick_start_method(start_method)
+        self.tracer = SpanTracer(clock=time.perf_counter, enabled=observe)
+        self.metrics = MetricsRegistry()
+        self._pool: ProcessWorkerPool | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------ context
+    def _context(self, params: dict[str, Any]) -> CommandContext:
+        """Mirror :meth:`Scheduler._context` over the shared store."""
+        loaded = self.store.time_indices
+        if not loaded:
+            raise ValueError("shared store holds no time levels")
+        t0, t1 = params.get("time_range", (loaded[0], loaded[-1] + 1))
+        if not loaded[0] <= t0 < t1 <= loaded[-1] + 1:
+            raise ValueError(
+                f"invalid time_range ({t0}, {t1}); store holds {loaded}"
+            )
+        handles_by_time = [self.store.handles(t) for t in range(t0, t1)]
+        return CommandContext(
+            dataset=self.store.name,
+            handles_by_time=handles_by_time,
+            params=dict(params),
+            costs=self.costs,
+            time_offset=t0,
+            times=list(self.store.times[t0:t1]),
+        )
+
+    # ---------------------------------------------------------------- run
+    def run(
+        self,
+        command: str | Command,
+        params: dict[str, Any] | None = None,
+        group_size: int | None = None,
+        **command_kwargs: Any,
+    ) -> ParallelResult:
+        """Plan, execute and merge one command; see module docstring."""
+        self._check_open()
+        params = dict(params or {})
+        if isinstance(command, str):
+            cmd = self.registry.create(command, **command_kwargs)
+        else:
+            if command_kwargs:
+                raise TypeError("command_kwargs only apply to registry names")
+            cmd = command
+        group = group_size if group_size is not None else self.workers
+        ctx = self._context(params)
+        assignments = cmd.plan(ctx, group)
+        run_span = self.tracer.begin(
+            "parallel-run", cmd.name, executor=self.executor, group_size=group
+        )
+        t0 = time.perf_counter()
+        if self.executor == "process":
+            results = self._run_process(cmd, ctx, assignments)
+        else:
+            results = self._run_serial(cmd, ctx, assignments)
+        merged = cmd.merge([list(r.payloads) for r in results])
+        wall = time.perf_counter() - t0
+        self.tracer.end(run_span, n_shares=len(results))
+        self._record(cmd.name, results, wall, run_span)
+        return ParallelResult(
+            command=cmd.name,
+            executor=self.executor,
+            group_size=group,
+            result=merged,
+            shares=results,
+            wall_seconds=wall,
+        )
+
+    def _run_serial(
+        self, cmd: Command, ctx: CommandContext, assignments: Sequence[Any]
+    ) -> list[ShareResult]:
+        runner = DirectRunner(
+            lambda item: self.store.get_block(
+                int(item.param("time")), int(item.param("block"))
+            )
+        )
+        results: list[ShareResult] = []
+        for i, assignment in enumerate(assignments):
+            t_start = time.perf_counter()
+            run: ShareRun = runner.run_share(cmd, ctx, assignment, i)
+            t_end = time.perf_counter()
+            results.append(
+                ShareResult(
+                    share_index=i,
+                    payloads=run.payloads,
+                    n_loads=run.n_loads,
+                    n_computes=run.n_computes,
+                    n_emits=run.n_emits,
+                    emitted_nbytes=run.emitted_nbytes,
+                    t_start=t_start,
+                    t_end=t_end,
+                    pid=os.getpid(),
+                )
+            )
+        return results
+
+    def _run_process(
+        self, cmd: Command, ctx: CommandContext, assignments: Sequence[Any]
+    ) -> list[ShareResult]:
+        return self._ensure_pool().run_shares(cmd, ctx, assignments)
+
+    # --------------------------------------------------------- precompute
+    def precompute(
+        self, field_name: str = "lambda2", velocity: str = "velocity"
+    ) -> int:
+        """Derive ``field_name`` once per block into shared memory.
+
+        Returns the number of blocks processed.  Fanned across the pool
+        under ``executor="process"`` (the pool is rebuilt afterwards so
+        workers attach the new segments), in-process otherwise.
+        """
+        self._check_open()
+        keys = [
+            key
+            for key in self.store.keys()
+            if field_name not in self.store.derived_fields(*key)
+        ]
+        if not keys:
+            return 0
+        with self.tracer.span("parallel-precompute", field_name, n_blocks=len(keys)):
+            if self.executor == "process":
+                # The pool survives: tasks ship the derived manifest and
+                # workers sync-attach the new segments on first use.
+                self._ensure_pool().derive_field(keys, field_name, velocity)
+            else:
+                from ..algorithms.lambda2 import lambda2_field
+
+                if field_name != "lambda2":
+                    raise ValueError(f"unknown derived field {field_name!r}")
+                for t, b in keys:
+                    block = self.store.get_block(t, b)
+                    self.store.add_derived_field(
+                        t, b, field_name, lambda2_field(block, velocity)
+                    )
+        gauge = self.metrics.gauge(
+            "parallel_shm_bytes", help="bytes resident in the shared block store"
+        )
+        gauge.set(self.store.nbytes)
+        return len(keys)
+
+    # -------------------------------------------------------------- obs
+    def _record(
+        self, command: str, results: Sequence[ShareResult], wall: float, run_span
+    ) -> None:
+        labels = {"command": command, "executor": self.executor}
+        self.metrics.counter(
+            "parallel_runs_total", labels, help="extraction runs"
+        ).inc()
+        shares = self.metrics.counter(
+            "parallel_shares_total", labels, help="executed work-group shares"
+        )
+        loads = self.metrics.counter(
+            "parallel_blocks_loaded_total", labels, help="block loads by workers"
+        )
+        seconds = self.metrics.histogram(
+            "parallel_share_seconds", labels=labels, help="per-share wall seconds"
+        )
+        for res in results:
+            shares.inc()
+            loads.inc(res.n_loads)
+            seconds.observe(res.seconds)
+            self.tracer.record_interval(
+                "parallel-share",
+                f"{command}/share{res.share_index}",
+                t_start=res.t_start,
+                t_end=res.t_end,
+                node=res.share_index,
+                parent=run_span,
+                pid=res.pid,
+                n_loads=res.n_loads,
+                n_emits=res.n_emits,
+            )
+        self.metrics.histogram(
+            "parallel_run_seconds", labels=labels, help="whole-run wall seconds"
+        ).observe(wall)
+        self.metrics.gauge(
+            "parallel_shm_bytes", help="bytes resident in the shared block store"
+        ).set(self.store.nbytes)
+
+    # ---------------------------------------------------------- plumbing
+    def _ensure_pool(self) -> ProcessWorkerPool:
+        if self._pool is None or self._pool.closed:
+            self._pool = ProcessWorkerPool(
+                self.store, self.workers, start_method=self.start_method
+            )
+        return self._pool
+
+    def _close_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ParallelExtractor is closed")
+
+    def close(self) -> None:
+        """Shut the pool down and release shared memory (if owned)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._close_pool()
+        if self._owns_store:
+            self.store.cleanup()
+
+    def __enter__(self) -> "ParallelExtractor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

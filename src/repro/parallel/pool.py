@@ -1,0 +1,238 @@
+"""Process-pool execution of command shares over shared memory.
+
+The pool mirrors the paper's work group on real local cores: the parent
+plans shares exactly like the scheduler, each worker process attaches
+the :class:`~repro.parallel.shm.ShmBlockStore` once (pool initializer),
+interprets its share with a :class:`~repro.parallel.runner.DirectRunner`
+and ships back only the extracted payloads — meshes, pathlines — never
+block data.  Results are collected in share-index order, so the merged
+output is byte-identical to the serial path regardless of which worker
+finished first.
+
+Worker wall times are measured with ``time.perf_counter``
+(CLOCK_MONOTONIC on Linux, comparable across processes on one host) and
+returned with each share so the parent can import them as spans.
+
+A worker process dying mid-share (crash, ``os._exit``, OOM-kill)
+surfaces as :class:`WorkerPoolError`; the pool shuts down its remaining
+processes first so nothing leaks.  Ordinary exceptions raised by a
+command propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..core.commands import Command, CommandContext
+from ..dms.items import ItemName
+from .runner import DirectRunner, ShareRun
+from .shm import ShmBlockStore
+
+__all__ = ["ProcessWorkerPool", "ShareResult", "WorkerPoolError", "pick_start_method"]
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker process died before finishing its share."""
+
+
+@dataclass
+class ShareResult:
+    """One share's payloads plus the worker-side execution record."""
+
+    share_index: int
+    payloads: list[Any]
+    n_loads: int
+    n_computes: int
+    n_emits: int
+    emitted_nbytes: int
+    #: worker-process wall-clock interval (perf_counter seconds).
+    t_start: float
+    t_end: float
+    pid: int
+
+    @property
+    def seconds(self) -> float:
+        return self.t_end - self.t_start
+
+
+def pick_start_method(requested: str | None = None) -> str:
+    """``fork`` when the platform has it (workers inherit the attached
+    segments and the imported numerics for free), else ``spawn``."""
+    if requested is not None:
+        return requested
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# Per-worker-process state, set once by the pool initializer.  A module
+# global (not a closure) so spawned workers can find it after import.
+_WORKER_STORE: ShmBlockStore | None = None
+
+
+def _pool_init(manifest: dict) -> None:
+    global _WORKER_STORE
+    _WORKER_STORE = ShmBlockStore.attach(manifest)
+
+
+def _worker_store() -> ShmBlockStore:
+    if _WORKER_STORE is None:
+        raise RuntimeError("worker has no attached ShmBlockStore")
+    return _WORKER_STORE
+
+
+def _provide(item: ItemName) -> Any:
+    t = item.param("time")
+    b = item.param("block")
+    if t is None or b is None:
+        raise KeyError(f"item {item} does not name a block")
+    return _worker_store().get_block(int(t), int(b))
+
+
+def _run_share_task(
+    command: Command,
+    ctx: CommandContext,
+    assignment: Any,
+    share_index: int,
+    derived: dict | None = None,
+) -> ShareResult:
+    import os
+
+    if derived:
+        _worker_store().sync_derived(derived)
+    t0 = time.perf_counter()
+    run: ShareRun = DirectRunner(_provide).run_share(
+        command, ctx, assignment, share_index
+    )
+    t1 = time.perf_counter()
+    return ShareResult(
+        share_index=share_index,
+        payloads=run.payloads,
+        n_loads=run.n_loads,
+        n_computes=run.n_computes,
+        n_emits=run.n_emits,
+        emitted_nbytes=run.emitted_nbytes,
+        t_start=t0,
+        t_end=t1,
+        pid=os.getpid(),
+    )
+
+
+def _derive_field_task(
+    time_index: int, block_id: int, field_name: str, velocity: str
+) -> tuple[int, int, Any]:
+    from ..algorithms.lambda2 import lambda2_field
+
+    block = _worker_store().get_block(time_index, block_id)
+    if field_name != "lambda2":
+        raise ValueError(f"unknown derived field {field_name!r}")
+    return time_index, block_id, lambda2_field(block, velocity)
+
+
+class ProcessWorkerPool:
+    """A work group of OS processes attached to one shared-memory store."""
+
+    def __init__(
+        self,
+        store: ShmBlockStore,
+        n_workers: int,
+        start_method: str | None = None,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.store = store
+        self.n_workers = n_workers
+        self.start_method = pick_start_method(start_method)
+        ctx = multiprocessing.get_context(self.start_method)
+        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=ctx,
+            initializer=_pool_init,
+            initargs=(store.manifest(),),
+        )
+
+    # ------------------------------------------------------------- shares
+    def run_shares(
+        self, command: Command, ctx: CommandContext, assignments: Sequence[Any]
+    ) -> list[ShareResult]:
+        """Execute every share; results returned in share-index order."""
+        executor = self._require_executor()
+        # Workers attached at pool start; ship the current derived-field
+        # manifest so they can map segments created since (sync is a
+        # no-op when nothing is new).
+        derived = self.store.derived_manifest() or None
+        futures = [
+            executor.submit(_run_share_task, command, ctx, assignment, i, derived)
+            for i, assignment in enumerate(assignments)
+        ]
+        results: list[ShareResult] = []
+        try:
+            for future in futures:
+                results.append(future.result())
+        except BrokenProcessPool as exc:
+            self.close()
+            raise WorkerPoolError(
+                "a worker process died before finishing its share; "
+                "the pool has been shut down"
+            ) from exc
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results
+
+    def derive_field(
+        self,
+        keys: Sequence[tuple[int, int]],
+        field_name: str = "lambda2",
+        velocity: str = "velocity",
+    ) -> None:
+        """Fan a per-block derived-field computation across the pool.
+
+        Each worker reads its block from shared memory, computes the
+        field at float64 and returns it; the parent stores the results
+        in new shared segments via
+        :meth:`~repro.parallel.shm.ShmBlockStore.add_derived_field`.
+        Already-running workers pick the new segments up through the
+        derived manifest shipped with each subsequent share (see
+        :meth:`run_shares`), so the pool keeps running.
+        """
+        executor = self._require_executor()
+        futures = [
+            executor.submit(_derive_field_task, t, b, field_name, velocity)
+            for t, b in keys
+        ]
+        try:
+            for future in futures:
+                t, b, data = future.result()
+                self.store.add_derived_field(t, b, field_name, data)
+        except BrokenProcessPool as exc:
+            self.close()
+            raise WorkerPoolError(
+                "a worker process died while deriving fields"
+            ) from exc
+
+    # ------------------------------------------------------------ plumbing
+    def _require_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            raise WorkerPoolError("pool is closed")
+        return self._executor
+
+    @property
+    def closed(self) -> bool:
+        return self._executor is None
+
+    def close(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

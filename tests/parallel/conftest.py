@@ -1,0 +1,19 @@
+"""Fixtures for the multicore-execution tests: one on-disk engine store."""
+
+import pytest
+
+from repro.io import write_dataset
+from tests.conftest import cached_engine
+
+
+@pytest.fixture(scope="session")
+def engine_store(tmp_path_factory):
+    """The small engine dataset written once to disk for the whole run."""
+    eng = cached_engine(4, 2)
+    root = tmp_path_factory.mktemp("engine_store")
+    return write_dataset(
+        root,
+        [eng.level(t) for t in range(2)],
+        modeled_shapes=list(eng.spec.modeled_shapes),
+        times=eng.spec.times[:2],
+    )
