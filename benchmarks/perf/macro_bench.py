@@ -36,6 +36,12 @@ the win comes from shared residency, lazy ``<f4`` reads and derived-
 field reuse; real cores add process fan-out on top.  ``--check``
 enforces the 2.5x floor on the sweep; ``--json BENCH_PR5.json`` emits
 the report.
+
+Since PR 6 the regression sentry (``python -m repro slo --check
+--wall``, :mod:`repro.obs.sentry`) is the canonical CI entry point: it
+loads the floors committed inside ``BENCH_PR4.json`` /
+``BENCH_PR5.json`` and calls :func:`measure` / :func:`measure_pr5`
+here.  The per-suite ``--check`` flags remain for local use.
 """
 
 from __future__ import annotations

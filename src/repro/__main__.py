@@ -18,15 +18,26 @@ Usage::
                                   [--cold]
     python -m repro extract <cmd> [--data engine|propfan|path-to-store]
                                   [--workers N] [--executor serial|process]
-                                  [--precompute]
+                                  [--precompute] [--flame FILE]
+    python -m repro critical-path <cmd> [--data engine|propfan]
+                                        [--workers N] [--warm] [--path]
+    python -m repro slo [--data engine|propfan] [--workers N] [--repeats N]
+                        [--check] [--wall] [--json] [--baseline FILE]
+                        [--update-baseline]
 
 ``trace`` runs one command on a small simulated cluster and exports a
 Chrome ``trace_event`` JSON (open in Perfetto / about:tracing) plus an
 ASCII timeline; ``stats`` prints the unified metrics table (cache hit
 rate, prefetch accuracy, latency histograms); ``profile`` replays a
 command under ``cProfile`` and prints the top hotspots so perf work
-starts from evidence.  ``<cmd>`` is a registered command name or one of
-the aliases iso, vortex, pathlines, cutplane.
+starts from evidence.  ``critical-path`` attributes one command's wall
+clock to phases (queue/load/compute/merge/stream/recovery) along the
+span DAG's critical path; ``slo`` evaluates the paper's 100 ms
+interaction criterion as declarative SLOs over the sentry workload and,
+with ``--check``, gates against the committed baseline
+(``BENCH_PR6.json``) — the CI regression sentry.  ``<cmd>`` is a
+registered command name or one of the aliases iso, vortex, pathlines,
+cutplane.
 """
 
 from __future__ import annotations
@@ -56,7 +67,17 @@ USAGE = {
     ),
     "extract": (
         "python -m repro extract <cmd> [--data engine|propfan|path-to-store] "
-        "[--workers N] [--executor serial|process] [--precompute]"
+        "[--workers N] [--executor serial|process] [--precompute] "
+        "[--flame FILE]"
+    ),
+    "critical-path": (
+        "python -m repro critical-path <cmd> [--data engine|propfan] "
+        "[--workers N] [--warm] [--path]"
+    ),
+    "slo": (
+        "python -m repro slo [--data engine|propfan] [--workers N] "
+        "[--repeats N] [--check] [--wall] [--json] [--baseline FILE] "
+        "[--update-baseline]"
     ),
 }
 
@@ -166,6 +187,10 @@ def main(argv: list[str] | None = None) -> int:
         return _stats_main(args)
     if mode == "profile":
         return _profile_main(args)
+    if mode == "critical-path":
+        return _critical_path_main(args)
+    if mode == "slo":
+        return _slo_main(args)
     print(f"unknown mode {mode!r}; try --help")
     return 2
 
@@ -216,7 +241,10 @@ def _obs_flags(args: list[str]) -> tuple[list[str], dict]:
             if "=" in key:
                 key, value = key.split("=", 1)
                 flags[key] = value
-            elif key in {"timeline", "prometheus", "cold", "precompute"}:
+            elif key in {
+                "timeline", "prometheus", "cold", "precompute", "warm",
+                "path", "check", "wall", "json", "update-baseline",
+            }:
                 flags[key] = True
             else:
                 if i + 1 >= len(args):
@@ -294,7 +322,16 @@ def _extract_main(args: list[str]) -> int:
         except FileNotFoundError as exc:
             print(exc)
             return 2
-    with ParallelExtractor(data, workers=n_workers, executor=executor) as ext:
+    flame = flags.get("flame")
+    profile_interval = None
+    if flame:
+        from .obs.profiling import DEFAULT_INTERVAL
+
+        profile_interval = DEFAULT_INTERVAL
+    with ParallelExtractor(
+        data, workers=n_workers, executor=executor,
+        profile_interval=profile_interval,
+    ) as ext:
         if flags.get("precompute"):
             n = ext.precompute("lambda2")
             print(f"precomputed lambda2 for {n} blocks "
@@ -318,6 +355,15 @@ def _extract_main(args: list[str]) -> int:
             print(f"result:      {merged!r}")
         print(f"shared mem:  {ext.store.n_segments} segments, "
               f"{ext.store.nbytes} bytes")
+        if flame:
+            from .obs.profiling import top_functions
+
+            n_stacks = ext.write_flamegraph(str(flame))
+            samples = sum(ext.folded.values())
+            print(f"profile:     {samples} samples, {n_stacks} unique stacks "
+                  f"-> {flame} (collapsed-stack / flamegraph.pl format)")
+            for func, count in top_functions(ext.folded, limit=5):
+                print(f"  {count:6d}  {func}")
     return 0
 
 
@@ -391,6 +437,9 @@ def _stats_main(args: list[str]) -> int:
           f"({agg.prefetches_useful}/{agg.prefetches_issued} useful, "
           f"{agg.prefetches_dropped} dropped)")
     print(f"bytes loaded:      {agg.bytes_loaded}")
+    tracer = session.tracer
+    print(f"spans:             {len(tracer)} retained, {tracer.dropped} dropped, "
+          f"ring high-water {tracer.high_water}")
     for worker in session.scheduler.workers:
         desc = worker.proxy.prefetcher.describe()
         extra = ", ".join(f"{k}={v}" for k, v in desc.items() if k != "name")
@@ -450,6 +499,112 @@ def _profile_main(args: list[str]) -> int:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(sort).print_stats(top)
     return 0
+
+
+def _critical_path_main(args: list[str]) -> int:
+    """Where did the wall clock go?  Phase attribution for one command."""
+    positional, flags = _obs_flags(args)
+    if flags.get("error") or not positional:
+        print(f"usage: {USAGE['critical-path']}")
+        return 2
+    try:
+        command, params = _obs_command_spec(positional[0])
+    except KeyError:
+        print(f"unknown command {positional[0]!r}; try `python -m repro commands`")
+        return 2
+    n_workers = _parse_workers(flags)
+    if n_workers is None:
+        return 2
+    try:
+        session = _obs_session(str(flags.get("data", "engine")), n_workers)
+    except KeyError:
+        print("--data must be engine or propfan")
+        return 2
+    from .obs.critical_path import analyze_result
+
+    if flags.get("warm"):
+        # Warm the DMS caches first so the report shows the steady
+        # state; default is the cold pass, where load phases are live.
+        session.run(command, params=dict(params))
+    result = session.run(command, params=dict(params))
+    report = analyze_result(result)
+    print(report.format())
+    if flags.get("path"):
+        print()
+        print(report.format_path())
+    return 0
+
+
+def _slo_main(args: list[str]) -> int:
+    """Evaluate SLOs over the sentry workload; gate with ``--check``."""
+    positional, flags = _obs_flags(args)
+    if flags.get("error") or positional:
+        print(f"usage: {USAGE['slo']}")
+        return 2
+    from .obs import sentry
+
+    baseline_path = str(flags.get("baseline", "BENCH_PR6.json"))
+    baseline = None
+    if flags.get("check"):
+        try:
+            baseline = sentry.load_baseline(baseline_path)
+        except FileNotFoundError:
+            print(f"baseline {baseline_path} not found; "
+                  "run with --update-baseline first")
+            return 2
+    # A --check run must replay the baseline's exact workload shape;
+    # otherwise fall back to flags/defaults.
+    data = str(flags.get("data") or (baseline or {}).get("dataset", "engine"))
+    if data not in {"engine", "propfan"}:
+        print("--data must be engine or propfan")
+        return 2
+    try:
+        workers = int(flags.get("workers") or (baseline or {}).get("workers", 4))
+        repeats = int(flags.get("repeats") or (baseline or {}).get("repeats", 2))
+    except ValueError:
+        print("--workers and --repeats must be integers")
+        return 2
+    if workers < 1 or repeats < 1:
+        print("--workers and --repeats must be positive")
+        return 2
+    current = sentry.measure(data, workers=workers, repeats=repeats)
+    tracker = current["_tracker"]
+    if flags.get("json"):
+        import json as _json
+
+        print(_json.dumps(sentry.strip_runtime(current), indent=2, sort_keys=True))
+        return 0
+    print(f"== SLO sentry: {data}, {workers} workers, "
+          f"{repeats} repeats per command ==")
+    print()
+    print(tracker.format_report("command"))
+    print()
+    print("critical-path phase attribution (summed over repeats):")
+    for name, entry in current["commands"].items():
+        total = sum(entry["phase_seconds"].values())
+        shares = ", ".join(
+            f"{phase} {seconds / total:.0%}"
+            for phase, seconds in sorted(
+                entry["phase_seconds"].items(), key=lambda kv: -kv[1]
+            )
+            if seconds > 0.0
+        )
+        print(f"  {name:20s} coverage {entry['coverage']:.1%}  ({shares})")
+    if flags.get("update-baseline"):
+        sentry.write_baseline(baseline_path, current)
+        print(f"\nwrote baseline to {baseline_path}")
+        return 0
+    if baseline is None:
+        return 0
+    report = sentry.SentryReport(current=sentry.strip_runtime(current))
+    report.regressions.extend(sentry.compare(baseline, current))
+    if flags.get("wall"):
+        problems, notes = sentry.check_wall_floors(".")
+        report.regressions.extend(problems)
+        report.notes.extend(notes)
+    print()
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

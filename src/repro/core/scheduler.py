@@ -81,6 +81,9 @@ class RunRecord:
     failed_shares: list[int] = field(default_factory=list)
     retries: int = 0
     reassignments: int = 0
+    #: seconds between submit and the work group being fully acquired
+    #: (setup + waiting on busy workers) — the SLO layer's queue term.
+    queue_wait_s: float = 0.0
 
     @property
     def runtime(self) -> float:
@@ -248,6 +251,7 @@ class Scheduler:
         # until enough workers are free to form the group (§3).
         yield from sched_node.compute(self.costs.command_setup)
         worker_ids = yield from self.acquire_group(group_size)
+        record.queue_wait_s = self.env.now - record.t_start
         if self.trace is not None:
             self.trace.record(
                 self.env.now, 0, "command-start",

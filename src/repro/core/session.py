@@ -62,6 +62,9 @@ class CommandResult:
     failed_shares: list[int] = field(default_factory=list)
     #: recovery actions taken for this run (retries, reassignments).
     recovery: dict[str, int] = field(default_factory=dict)
+    #: submit → work group fully acquired [sim s]; the queue term the
+    #: SLO/critical-path layer reports separately from execution.
+    queue_wait_s: float = 0.0
 
     @property
     def complete(self) -> bool:
@@ -250,6 +253,7 @@ class ViracochaSession:
                 "retries": record.retries,
                 "reassignments": record.reassignments,
             },
+            queue_wait_s=record.queue_wait_s,
         )
 
     # ------------------------------------------------------------ helpers
@@ -308,6 +312,10 @@ class ViracochaSession:
             "viracocha_spans_dropped_total",
             help="spans evicted by the tracer ring buffer (max_spans cap)",
         ).set(self.tracer.dropped)
+        m.gauge(
+            "viracocha_span_ring_high_water",
+            help="most spans ever resident in the tracer ring at once",
+        ).set(self.tracer.high_water)
 
     def _worker_breakdown(self) -> dict[str, float]:
         agg = NodeBreakdown()
@@ -421,6 +429,7 @@ class ViracochaSession:
                         "retries": record.retries,
                         "reassignments": record.reassignments,
                     },
+                    queue_wait_s=record.queue_wait_s,
                 )
             )
         self.tracer.end(batch_span)

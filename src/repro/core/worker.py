@@ -37,6 +37,11 @@ class WorkerShare:
     payloads: list[Any] = field(default_factory=list)
     nbytes: int = 0
     packets_streamed: int = 0
+    #: simulated seconds this share spent per op kind — a span-free
+    #: phase breakdown that stays available when tracing is disabled.
+    load_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    stream_seconds: float = 0.0
 
 
 class Worker:
@@ -157,12 +162,14 @@ class Worker:
                             "load", name=str(op.item), node=self.node.node_id,
                             parent=wspan, dms=command.use_dms,
                         )
+                    t_op = self.env.now
                     if command.use_dms:
                         op_result = yield from self.proxy.request(
                             op.item, parent_span=lspan
                         )
                     else:
                         op_result = yield from self._load_direct(op.item)
+                    share.load_seconds += self.env.now - t_op
                     if tracer is not None:
                         tracer.end(lspan)
                         open_leaf = None
@@ -182,8 +189,10 @@ class Worker:
                             "compute", name=command.name, node=self.node.node_id,
                             parent=wspan, cost=op.cost,
                         )
+                    t_op = self.env.now
                     op_result = op.fn() if op.fn is not None else None
                     yield from self.node.compute(op.cost)
+                    share.compute_seconds += self.env.now - t_op
                     if tracer is not None:
                         tracer.end(cspan)
                         open_leaf = None
@@ -196,6 +205,7 @@ class Worker:
                                 node=self.node.node_id, parent=wspan,
                                 nbytes=op.nbytes, sequence=share.packets_streamed,
                             )
+                        t_op = self.env.now
                         if ctx.costs.stream_packet_overhead:
                             yield from self.node.compute(ctx.costs.stream_packet_overhead)
                         packet = ResultPacket(
@@ -207,6 +217,7 @@ class Worker:
                         )
                         share.packets_streamed += 1
                         yield from self.tcp.send(self.node, packet, client_mailbox)
+                        share.stream_seconds += self.env.now - t_op
                         if tracer is not None:
                             tracer.end(sspan)
                             open_leaf = None

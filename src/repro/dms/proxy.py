@@ -147,6 +147,7 @@ class DataProxy:
                 parent=parent_span, demand=demand, nbytes=nbytes,
             )
         try:
+            t_load = self.env.now
             # A stalled server (fault injection) answers nothing until
             # the stall ends; the proxy blocks rather than losing the
             # request, so commands still terminate.
@@ -182,7 +183,7 @@ class DataProxy:
                 yield from self.cluster.read_fileserver(
                     self.node, nbytes, priority=priority, token=token
                 )
-            self.stats.record_load(strategy.name, nbytes)
+            self.stats.record_load(strategy.name, nbytes, self.env.now - t_load)
             if self.trace is not None:
                 self.trace.record(
                     self.env.now,

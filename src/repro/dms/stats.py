@@ -39,6 +39,9 @@ class DMSStatistics:
     hits_l2: int = 0
     misses: int = 0
     loads_by_strategy: Counter = field(default_factory=Counter)
+    #: simulated seconds spent in forced loads, by strategy — the raw
+    #: material for the critical-path load_disk/load_wire phase split.
+    load_seconds_by_strategy: Counter = field(default_factory=Counter)
     bytes_loaded: int = 0
     prefetches_issued: int = 0
     prefetches_useful: int = 0
@@ -88,8 +91,9 @@ class DMSStatistics:
             self.prefetches_useful += 1
             self._pending_prefetched.discard(key)
 
-    def record_load(self, strategy: str, nbytes: int) -> None:
+    def record_load(self, strategy: str, nbytes: int, seconds: float = 0.0) -> None:
         self.loads_by_strategy[strategy] += 1
+        self.load_seconds_by_strategy[strategy] += seconds
         self.bytes_loaded += nbytes
 
     def record_prefetch(self, key: Hashable, issued: bool) -> None:
@@ -147,6 +151,7 @@ class DMSStatistics:
         self.hits_l2 += other.hits_l2
         self.misses += other.misses
         self.loads_by_strategy.update(other.loads_by_strategy)
+        self.load_seconds_by_strategy.update(other.load_seconds_by_strategy)
         self.bytes_loaded += other.bytes_loaded
         self.prefetches_issued += other.prefetches_issued
         self.prefetches_useful += other.prefetches_useful
@@ -169,7 +174,7 @@ class DMSStatistics:
                 self._bind(registry, node)
             )
         (requests, hits_l1, hits_l2, misses, bytes_loaded, issued, useful,
-         dropped, covered, hit_rate, accuracy, loads) = handles
+         dropped, covered, hit_rate, accuracy, loads, load_seconds) = handles
         requests.set(self.requests)
         hits_l1.set(self.hits_l1)
         hits_l2.set(self.hits_l2)
@@ -184,6 +189,15 @@ class DMSStatistics:
                     help="forced loads by loading strategy",
                 )
             handle.set(count)
+        for strategy, seconds in sorted(self.load_seconds_by_strategy.items()):
+            handle = load_seconds.get(strategy)
+            if handle is None:
+                handle = load_seconds[strategy] = registry.counter(
+                    "viracocha_dms_load_seconds_total",
+                    {"node": node, "strategy": strategy},
+                    help="simulated seconds spent in forced loads by strategy",
+                )
+            handle.set(seconds)
         issued.set(self.prefetches_issued)
         useful.set(self.prefetches_useful)
         dropped.set(self.prefetches_dropped)
@@ -238,4 +252,5 @@ class DMSStatistics:
                 help="useful / issued prefetches",
             ),
             {},  # per-strategy viracocha_dms_loads_total handles
+            {},  # per-strategy viracocha_dms_load_seconds_total handles
         )

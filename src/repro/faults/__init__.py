@@ -21,9 +21,11 @@ default policy when the session has none.
 from .chaos import (
     ChaosRun,
     chaos_session,
+    degraded_share_rate,
     fault_free_runtime,
     open_spans,
     run_chaos,
+    track_slos,
     trace_fingerprint,
 )
 from .injector import FaultInjector
@@ -36,8 +38,10 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "chaos_session",
+    "degraded_share_rate",
     "fault_free_runtime",
     "open_spans",
     "run_chaos",
+    "track_slos",
     "trace_fingerprint",
 ]

@@ -23,8 +23,9 @@ from typing import Any
 from .injector import FaultInjector
 from .plan import FaultPlan
 
-__all__ = ["ChaosRun", "chaos_session", "fault_free_runtime", "open_spans",
-           "run_chaos", "trace_fingerprint"]
+__all__ = ["ChaosRun", "chaos_session", "degraded_share_rate",
+           "fault_free_runtime", "open_spans", "run_chaos",
+           "track_slos", "trace_fingerprint"]
 
 
 def chaos_session(
@@ -102,6 +103,40 @@ def run_chaos(
         injector=injector,
         fingerprint=trace_fingerprint(result),
     )
+
+
+def degraded_share_rate(results: "list[Any]") -> float:
+    """Fraction of planned shares lost across runs.
+
+    The raw material for the ``complete-results`` SLO: each command
+    plans ``group_size`` shares; unrecoverable ones end up in
+    ``failed_shares``.  Accepts :class:`ChaosRun` objects or bare
+    ``CommandResult``-shaped results.
+    """
+    planned = 0
+    lost = 0
+    for entry in results:
+        result = getattr(entry, "result", entry)
+        planned += result.group_size
+        lost += len(result.failed_shares)
+    return lost / planned if planned else 0.0
+
+
+def track_slos(results: "list[Any]", tracker: Any = None) -> Any:
+    """Feed chaos/command results into an SLO tracker.
+
+    Builds a stock :class:`repro.obs.slo.SLOTracker` when none is
+    given, so a chaos suite can report attainment and burn rate with
+    one call: ``track_slos(runs).format_report("command")``.
+    """
+    if tracker is None:
+        from ..obs.slo import SLOTracker, default_slos
+
+        tracker = SLOTracker(default_slos())
+    for entry in results:
+        result = getattr(entry, "result", entry)
+        tracker.observe_result(result)
+    return tracker
 
 
 def open_spans(result: Any, ignore_background: bool = True) -> list:

@@ -1,4 +1,4 @@
-"""Unified observability layer: spans, metrics, and trace export.
+"""Unified observability layer: spans, metrics, analysis, and export.
 
 The measurement substrate for every performance claim in this repo:
 
@@ -8,11 +8,22 @@ The measurement substrate for every performance claim in this repo:
 * :mod:`repro.obs.metrics` — a registry of counters, gauges and
   fixed-bucket histograms into which the DMS statistics publish;
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
-  Perfetto / ``about:tracing``), JSONL event logs, and a
-  Prometheus-style text exposition.
+  Perfetto / ``about:tracing``) with causal flow arrows, JSONL event
+  logs, and a Prometheus-style text exposition;
+* :mod:`repro.obs.critical_path` — span-DAG critical-path extraction
+  and per-phase wall-time attribution (where did the seconds go?);
+* :mod:`repro.obs.slo` — declarative SLOs against the paper's 100 ms
+  interaction criterion, with streaming quantiles, error budgets and
+  burn rates over simulated time;
+* :mod:`repro.obs.sentry` — the perf regression sentry comparing a
+  fresh measurement against a committed baseline (``repro slo
+  --check`` in CI);
+* :mod:`repro.obs.profiling` — cross-process sampling profiler
+  producing one flamegraph-ready collapsed-stack file per run.
 
-``ViracochaSession`` wires all three up by default and attaches the
-populated tracer and a metrics snapshot to every ``CommandResult``.
+``ViracochaSession`` wires spans and metrics up by default and attaches
+the populated tracer and a metrics snapshot to every ``CommandResult``;
+the analysis modules consume those results after the fact.
 """
 
 from .metrics import (
@@ -25,10 +36,33 @@ from .metrics import (
 )
 from .spans import NULL_SPAN, Span, SpanTracer
 from .export import (
+    flow_events,
     to_chrome_trace,
     to_jsonl_records,
     write_chrome_trace,
     write_jsonl,
+)
+from .critical_path import (
+    PHASES,
+    CriticalPathReport,
+    PhaseSegment,
+    analyze_result,
+    analyze_spans,
+    critical_segments,
+    publish_phase_metrics,
+)
+from .slo import (
+    SLODefinition,
+    SLOStatus,
+    SLOTracker,
+    default_slos,
+)
+from .profiling import (
+    StackSampler,
+    merge_folded,
+    render_folded,
+    top_functions,
+    write_folded,
 )
 
 __all__ = [
@@ -41,8 +75,25 @@ __all__ = [
     "MetricsRegistry",
     "LATENCY_BUCKETS",
     "render_prometheus",
+    "flow_events",
     "to_chrome_trace",
     "write_chrome_trace",
     "to_jsonl_records",
     "write_jsonl",
+    "PHASES",
+    "CriticalPathReport",
+    "PhaseSegment",
+    "analyze_result",
+    "analyze_spans",
+    "critical_segments",
+    "publish_phase_metrics",
+    "SLODefinition",
+    "SLOStatus",
+    "SLOTracker",
+    "default_slos",
+    "StackSampler",
+    "merge_folded",
+    "render_folded",
+    "top_functions",
+    "write_folded",
 ]

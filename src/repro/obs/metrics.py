@@ -148,6 +148,36 @@ class Histogram(Metric):
     def mean(self) -> float:
         return self.total / self.n if self.n else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation within the covering bucket, matching
+        Prometheus's ``histogram_quantile``: the first finite bucket
+        interpolates from 0 (all recorded values are durations), and a
+        quantile landing in the implicit ``+Inf`` overflow bucket is
+        clamped to the highest finite bound — the histogram cannot say
+        more than "beyond the last edge".  Returns ``nan`` when no
+        observations have been recorded.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.n == 0:
+            return math.nan
+        rank = q * self.n
+        running = 0
+        for i, bound in enumerate(self.bounds):
+            prev_running = running
+            running += self.counts[i]
+            if running >= rank:
+                lower = self.bounds[i - 1] if i > 0 else min(0.0, bound)
+                in_bucket = self.counts[i]
+                if in_bucket == 0:  # rank == running == prev boundary
+                    return lower
+                frac = (rank - prev_running) / in_bucket
+                return lower + (bound - lower) * frac
+        # Overflow (+Inf) bucket: clamp to the highest finite bound.
+        return self.bounds[-1]
+
     def cumulative(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs ending at +Inf."""
         out = []

@@ -1,0 +1,342 @@
+"""The perf regression sentry: one gate over the whole BENCH trajectory.
+
+PRs 3-5 each left behind an ad-hoc ``--check`` flag and a committed
+``BENCH_*.json``; nothing watched the *shape* of a run — a regression
+that kept the wall-clock floors but, say, doubled time spent merging
+would sail through.  The sentry closes that hole with three layered
+checks, strictest first:
+
+1. **Golden fingerprints** — every sentry command's
+   :func:`repro.faults.trace_fingerprint` must match the committed
+   baseline byte for byte: the simulated event stream is deterministic,
+   so *any* drift is a behavior change, not noise.
+2. **Phase breakdown + SLO attainment** — per-command critical-path
+   phase seconds (:mod:`repro.obs.critical_path`) and SLO
+   quantiles/attainment (:mod:`repro.obs.slo`) against the baseline
+   under *noise-aware* thresholds: simulated quantities are
+   deterministic in one environment but may shift by float-level
+   amounts across numpy versions, so each comparison allows a relative
+   band plus an absolute floor instead of exact equality.
+3. **Wall-clock floors** (optional, ``--wall``) — re-runs the committed
+   macro-benchmarks and enforces the speedup floors recorded inside
+   ``BENCH_PR4.json`` / ``BENCH_PR5.json``, replacing the per-PR
+   ad-hoc CI steps.
+
+``python -m repro slo --check`` wires all of this to CI; a nonzero
+exit is a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .critical_path import PHASES, analyze_result, publish_phase_metrics
+from .slo import SLOTracker, default_slos
+
+__all__ = [
+    "SENTRY_COMMANDS",
+    "Tolerance",
+    "SentryReport",
+    "measure",
+    "compare",
+    "check_wall_floors",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: the four headline commands, the same shapes the macro-benchmarks and
+#: the chaos suite replay (small Engine testbed).
+SENTRY_COMMANDS: list[tuple[str, dict]] = [
+    ("iso-dataman", {"isovalue": -0.3, "scalar": "pressure", "time_range": (0, 1)}),
+    ("vortex-dataman", {"threshold": -0.5, "time_range": (0, 1)}),
+    (
+        "pathlines-dataman",
+        {
+            "seeds": [[-0.3, -0.2, 0.6], [0.2, 0.3, 0.9], [0.0, -0.4, 1.1]],
+            "time_range": (0, 2),
+            "max_steps": 60,
+        },
+    ),
+    ("cutplane", {"normal": (0.0, 0.0, 1.0), "offset": 0.8, "time_range": (0, 1)}),
+]
+
+#: baseline files whose committed floors the ``--wall`` check enforces.
+WALL_BASELINES = ("BENCH_PR4.json", "BENCH_PR5.json")
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Noise bands for baseline comparisons.
+
+    Simulated seconds are deterministic on one toolchain; the bands
+    absorb float-level drift across numpy/python versions without
+    letting a real regression (a phase growing by tens of percent)
+    through.  ``abs_s`` keeps sub-millisecond phases from tripping the
+    relative band on rounding noise.
+    """
+
+    rel: float = 0.10          #: relative band for phase seconds
+    abs_s: float = 5e-3        #: absolute floor [sim s] for phase seconds
+    quantile_rel: float = 0.10 #: relative band for SLO p50/p95/p99
+    attainment_abs: float = 1e-9  #: attainment fractions are exact ratios
+
+
+@dataclass
+class SentryReport:
+    """Everything one sentry pass produced."""
+
+    current: dict[str, Any]
+    regressions: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = []
+        if self.regressions:
+            lines.append(f"REGRESSIONS ({len(self.regressions)}):")
+            lines.extend(f"  - {r}" for r in self.regressions)
+        else:
+            lines.append("sentry: no regressions against baseline")
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------ measuring
+def _sentry_session(data: str, n_workers: int):
+    from ..bench.calibration import paper_cluster, paper_costs
+    from ..core.session import ViracochaSession
+    from ..synth import build_engine, build_propfan
+
+    builders = {"engine": build_engine, "propfan": build_propfan}
+    if data not in builders:
+        raise KeyError(data)
+    dataset = builders[data](base_resolution=4, n_timesteps=2)
+    return ViracochaSession(
+        dataset,
+        cluster_config=paper_cluster(n_workers),
+        costs=paper_costs(),
+    )
+
+
+def measure(
+    data: str = "engine",
+    workers: int = 4,
+    repeats: int = 3,
+    commands: list[tuple[str, dict]] | None = None,
+    session_factory: Callable[[], Any] | None = None,
+    tracker: SLOTracker | None = None,
+) -> dict[str, Any]:
+    """Run the sentry workload and collect every gated quantity.
+
+    One fresh session, each command executed ``repeats`` times in
+    order (first pass cold, later passes warm — both phases matter:
+    regressions can hide in either).  Returns a plain-JSON dict:
+    fingerprints, per-phase critical-path seconds, coverage, and the
+    SLO rollup, all in simulated time.
+    """
+    from ..faults.chaos import trace_fingerprint
+
+    if session_factory is not None:
+        session = session_factory()
+    else:
+        session = _sentry_session(data, workers)
+    tracker = tracker if tracker is not None else SLOTracker(default_slos())
+    commands = commands if commands is not None else SENTRY_COMMANDS
+    per_command: dict[str, Any] = {}
+    for name, params in commands:
+        fingerprints: list[str] = []
+        runtimes: list[float] = []
+        latencies: list[float] = []
+        phase_seconds = {p: 0.0 for p in PHASES}
+        coverage = 1.0
+        for _ in range(max(repeats, 1)):
+            result = session.run(name, params=dict(params))
+            fingerprints.append(trace_fingerprint(result))
+            runtimes.append(result.total_runtime)
+            latencies.append(result.latency)
+            report = analyze_result(result)
+            coverage = min(coverage, report.coverage)
+            for phase, seconds in report.phase_seconds.items():
+                phase_seconds[phase] += seconds
+            publish_phase_metrics(session.metrics, report)
+            tracker.observe_result(result)
+        per_command[name] = {
+            "fingerprints": fingerprints,
+            "runtime_seconds": runtimes,
+            "latency_seconds": latencies,
+            "phase_seconds": phase_seconds,
+            "coverage": coverage,
+        }
+    slo_rollup: dict[str, Any] = {}
+    for st in tracker.status("command"):
+        slo_rollup.setdefault(st.slo.name, {})[st.key] = {
+            "total": st.total,
+            "good": st.good,
+            "attainment": st.attainment,
+            "p50": st.p50,
+            "p95": st.p95,
+            "p99": st.p99,
+            "burn_rate": st.burn_rate if math.isfinite(st.burn_rate) else None,
+        }
+    tracker.publish_metrics(session.metrics)
+    return {
+        "suite": "slo-sentry",
+        "dataset": data,
+        "workers": workers,
+        "repeats": repeats,
+        "commands": per_command,
+        "slo": slo_rollup,
+        "_session": session,   # stripped before serialization
+        "_tracker": tracker,
+    }
+
+
+def strip_runtime(current: dict[str, Any]) -> dict[str, Any]:
+    """Drop the live session/tracker handles for JSON serialization."""
+    return {k: v for k, v in current.items() if not k.startswith("_")}
+
+
+# ------------------------------------------------------------ comparing
+def _close(base: float, now: float, rel: float, abs_floor: float) -> bool:
+    return abs(now - base) <= max(rel * abs(base), abs_floor)
+
+
+def compare(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    tol: Tolerance | None = None,
+) -> list[str]:
+    """Regression messages (empty = clean) for current vs baseline."""
+    tol = tol or Tolerance()
+    problems: list[str] = []
+    base_cmds = baseline.get("commands", {})
+    cur_cmds = current.get("commands", {})
+    for name, base in base_cmds.items():
+        cur = cur_cmds.get(name)
+        if cur is None:
+            problems.append(f"{name}: missing from current run")
+            continue
+        if cur["fingerprints"] != base["fingerprints"]:
+            problems.append(
+                f"{name}: trace fingerprint drift — simulated behavior "
+                "changed (golden pins would catch the same run)"
+            )
+        for phase in PHASES:
+            b = base["phase_seconds"].get(phase, 0.0)
+            c = cur["phase_seconds"].get(phase, 0.0)
+            if not _close(b, c, tol.rel, tol.abs_s):
+                problems.append(
+                    f"{name}: phase {phase!r} moved {b:.6f}s -> {c:.6f}s "
+                    f"(tolerance ±{tol.rel:.0%} / {tol.abs_s}s)"
+                )
+        if cur.get("coverage", 0.0) < 0.95:
+            problems.append(
+                f"{name}: critical-path coverage {cur['coverage']:.1%} < 95%"
+            )
+    for slo_name, base_rollup in baseline.get("slo", {}).items():
+        cur_rollup = current.get("slo", {}).get(slo_name, {})
+        for key, base_cell in base_rollup.items():
+            cur_cell = cur_rollup.get(key)
+            if cur_cell is None:
+                problems.append(f"slo {slo_name}/{key}: missing from current run")
+                continue
+            if abs(cur_cell["attainment"] - base_cell["attainment"]) > tol.attainment_abs:
+                problems.append(
+                    f"slo {slo_name}/{key}: attainment "
+                    f"{base_cell['attainment']:.3f} -> {cur_cell['attainment']:.3f}"
+                )
+            for q in ("p50", "p95", "p99"):
+                if not _close(base_cell[q], cur_cell[q], tol.quantile_rel, tol.abs_s):
+                    problems.append(
+                        f"slo {slo_name}/{key}: {q} moved "
+                        f"{base_cell[q]:.6f}s -> {cur_cell[q]:.6f}s"
+                    )
+    return problems
+
+
+# ------------------------------------------------------- wall-clock leg
+def _load_macro_bench(repo_root: str):
+    """Import benchmarks/perf/macro_bench.py by path (not a package)."""
+    import importlib.util
+
+    path = os.path.join(repo_root, "benchmarks", "perf", "macro_bench.py")
+    if not os.path.exists(path):
+        return None
+    spec = importlib.util.spec_from_file_location("_sentry_macro_bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def check_wall_floors(repo_root: str = ".") -> tuple[list[str], list[str]]:
+    """Re-run the macro-benchmarks; enforce each committed floor.
+
+    Floors come from the committed ``BENCH_PR4.json`` /
+    ``BENCH_PR5.json`` (falling back to the harness constants when a
+    file is absent).  Returns ``(regressions, notes)``; wall-clock
+    timing is noisy on shared runners, so callers may choose to treat
+    these as advisory (CI marks the job ``continue-on-error``).
+    """
+    problems: list[str] = []
+    notes: list[str] = []
+    bench = _load_macro_bench(repo_root)
+    if bench is None:
+        notes.append("benchmarks/perf/macro_bench.py not found; wall leg skipped")
+        return problems, notes
+
+    def committed_floors(fname: str, fallback: dict) -> dict:
+        path = os.path.join(repo_root, fname)
+        if os.path.exists(path):
+            with open(path) as fh:
+                return json.load(fh).get("floors", fallback)
+        return fallback
+
+    pr4_floors = committed_floors("BENCH_PR4.json", bench.FLOORS)
+    current = bench.measure()
+    ratios = bench.speedups(current)
+    for key, floor in pr4_floors.items():
+        ratio = ratios.get(key)
+        if ratio is not None and ratio < floor:
+            problems.append(
+                f"wall pr4: {key} speedup {ratio:.2f}x under floor {floor}x"
+            )
+    notes.append(
+        "wall pr4: " + ", ".join(f"{k}={v:.2f}x" for k, v in sorted(ratios.items()))
+    )
+    pr5_floors = committed_floors("BENCH_PR5.json", bench.PR5_FLOORS)
+    pr5 = bench.measure_pr5()
+    for key, floor in pr5_floors.items():
+        ratio = pr5["speedup"].get(key)
+        if ratio is not None and ratio < floor:
+            problems.append(
+                f"wall pr5: {key} speedup {ratio:.2f}x under floor {floor}x"
+            )
+    notes.append(
+        "wall pr5: "
+        + ", ".join(f"{k}={v:.2f}x" for k, v in sorted(pr5["speedup"].items()))
+    )
+    return problems, notes
+
+
+# ------------------------------------------------------------- baseline
+def load_baseline(path: str) -> dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def write_baseline(path: str, current: dict[str, Any]) -> None:
+    import platform
+
+    doc = strip_runtime(current)
+    doc["machine"] = platform.platform()
+    doc["python"] = platform.python_version()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -151,6 +151,10 @@ class SpanTracer:
         self.max_spans = max_spans
         self.spans: deque[Span] = deque()
         self.dropped = 0
+        #: most spans ever resident at once — how close the ring came
+        #: to (or how far past) its cap; with ``max_spans`` set this
+        #: saturates at the cap once the first span is evicted.
+        self.high_water = 0
         self._by_id: dict[int, Span] = {}
         self._next_id = 0
 
@@ -195,6 +199,8 @@ class SpanTracer:
             del self._by_id[evicted.span_id]
             self.dropped += 1
         spans.append(span)
+        if len(spans) > self.high_water:
+            self.high_water = len(spans)
         self._by_id[span_id] = span
         if self.recorder is not None:
             self.recorder.record(

@@ -111,6 +111,7 @@ class ParallelExtractor:
         time_indices: Iterable[int] | None = None,
         observe: bool = True,
         start_method: str | None = None,
+        profile_interval: float | None = None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -130,6 +131,11 @@ class ParallelExtractor:
         self.start_method = pick_start_method(start_method)
         self.tracer = SpanTracer(clock=time.perf_counter, enabled=observe)
         self.metrics = MetricsRegistry()
+        #: seconds between stack samples in every executor (worker
+        #: processes *and* the serial path); None disables profiling.
+        self.profile_interval = profile_interval
+        #: collapsed stacks aggregated across all shares of all runs.
+        self.folded: dict[str, int] = {}
         self._pool: ProcessWorkerPool | None = None
         self._closed = False
 
@@ -205,9 +211,15 @@ class ParallelExtractor:
         )
         results: list[ShareResult] = []
         for i, assignment in enumerate(assignments):
+            sampler = None
+            if self.profile_interval is not None:
+                from ..obs.profiling import StackSampler
+
+                sampler = StackSampler(interval=self.profile_interval).start()
             t_start = time.perf_counter()
             run: ShareRun = runner.run_share(cmd, ctx, assignment, i)
             t_end = time.perf_counter()
+            folded = sampler.stop() if sampler is not None else None
             results.append(
                 ShareResult(
                     share_index=i,
@@ -219,6 +231,7 @@ class ParallelExtractor:
                     t_start=t_start,
                     t_end=t_end,
                     pid=os.getpid(),
+                    folded=folded,
                 )
             )
         return results
@@ -288,6 +301,10 @@ class ParallelExtractor:
             shares.inc()
             loads.inc(res.n_loads)
             seconds.observe(res.seconds)
+            if res.folded:
+                from ..obs.profiling import merge_folded
+
+                self.folded = merge_folded([self.folded, res.folded])
             self.tracer.record_interval(
                 "parallel-share",
                 f"{command}/share{res.share_index}",
@@ -306,11 +323,27 @@ class ParallelExtractor:
             "parallel_shm_bytes", help="bytes resident in the shared block store"
         ).set(self.store.nbytes)
 
+    def write_flamegraph(self, path_or_file) -> int:
+        """Write the aggregated collapsed-stack profile (all workers).
+
+        Output is ``flamegraph.pl`` / speedscope input; returns the
+        number of distinct stacks written.  Requires the extractor to
+        have been built with ``profile_interval`` set.
+        """
+        from ..obs.profiling import write_folded
+
+        if self.profile_interval is None:
+            raise RuntimeError(
+                "profiling disabled; pass profile_interval to ParallelExtractor"
+            )
+        return write_folded(path_or_file, self.folded)
+
     # ---------------------------------------------------------- plumbing
     def _ensure_pool(self) -> ProcessWorkerPool:
         if self._pool is None or self._pool.closed:
             self._pool = ProcessWorkerPool(
-                self.store, self.workers, start_method=self.start_method
+                self.store, self.workers, start_method=self.start_method,
+                profile_interval=self.profile_interval,
             )
         return self._pool
 

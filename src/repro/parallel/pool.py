@@ -54,6 +54,9 @@ class ShareResult:
     t_start: float
     t_end: float
     pid: int
+    #: collapsed-stack sample counts from the worker-side sampling
+    #: profiler (None unless the pool was built with profiling on).
+    folded: dict | None = None
 
     @property
     def seconds(self) -> float:
@@ -72,11 +75,13 @@ def pick_start_method(requested: str | None = None) -> str:
 # Per-worker-process state, set once by the pool initializer.  A module
 # global (not a closure) so spawned workers can find it after import.
 _WORKER_STORE: ShmBlockStore | None = None
+_PROFILE_INTERVAL: float | None = None
 
 
-def _pool_init(manifest: dict) -> None:
-    global _WORKER_STORE
+def _pool_init(manifest: dict, profile_interval: float | None = None) -> None:
+    global _WORKER_STORE, _PROFILE_INTERVAL
     _WORKER_STORE = ShmBlockStore.attach(manifest)
+    _PROFILE_INTERVAL = profile_interval
 
 
 def _worker_store() -> ShmBlockStore:
@@ -104,11 +109,17 @@ def _run_share_task(
 
     if derived:
         _worker_store().sync_derived(derived)
+    sampler = None
+    if _PROFILE_INTERVAL is not None:
+        from ..obs.profiling import StackSampler
+
+        sampler = StackSampler(interval=_PROFILE_INTERVAL).start()
     t0 = time.perf_counter()
     run: ShareRun = DirectRunner(_provide).run_share(
         command, ctx, assignment, share_index
     )
     t1 = time.perf_counter()
+    folded = sampler.stop() if sampler is not None else None
     return ShareResult(
         share_index=share_index,
         payloads=run.payloads,
@@ -119,6 +130,7 @@ def _run_share_task(
         t_start=t0,
         t_end=t1,
         pid=os.getpid(),
+        folded=folded,
     )
 
 
@@ -141,18 +153,25 @@ class ProcessWorkerPool:
         store: ShmBlockStore,
         n_workers: int,
         start_method: str | None = None,
+        profile_interval: float | None = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if profile_interval is not None and profile_interval <= 0:
+            raise ValueError(
+                f"profile_interval must be > 0, got {profile_interval}"
+            )
         self.store = store
         self.n_workers = n_workers
         self.start_method = pick_start_method(start_method)
+        #: seconds between worker-side stack samples; None = no profiling.
+        self.profile_interval = profile_interval
         ctx = multiprocessing.get_context(self.start_method)
         self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=ctx,
             initializer=_pool_init,
-            initargs=(store.manifest(),),
+            initargs=(store.manifest(), profile_interval),
         )
 
     # ------------------------------------------------------------- shares

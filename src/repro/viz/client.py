@@ -44,6 +44,17 @@ class InteractionCriteria:
     def response_time_ok(self, response_s: float) -> bool:
         return response_s <= self.max_response_time_s
 
+    def slos(self) -> list:
+        """These criteria as declarative SLOs (see :mod:`repro.obs.slo`).
+
+        The response-time bound becomes the ``interactive-response``
+        latency objective, so tightening the criterion here tightens
+        what ``python -m repro slo`` gates on.
+        """
+        from ..obs.slo import default_slos
+
+        return default_slos(self)
+
 
 @dataclass(frozen=True)
 class FrameRateModel:

@@ -61,6 +61,7 @@ def test_stats_prints_metrics_table(capsys):
     assert "viracocha_dms_hit_rate" in out
     assert "viracocha_command_latency_seconds" in out
     assert "prefetcher" in out
+    assert "ring high-water" in out
 
 
 def test_stats_prometheus_exposition(capsys):
@@ -69,6 +70,8 @@ def test_stats_prometheus_exposition(capsys):
     assert "# TYPE viracocha_dms_requests_total counter" in out
     assert "# TYPE viracocha_dms_hit_rate gauge" in out
     assert "viracocha_command_runtime_seconds_bucket" in out
+    assert "# TYPE viracocha_spans_dropped_total counter" in out
+    assert "# TYPE viracocha_span_ring_high_water gauge" in out
 
 
 def test_stats_rejects_unknown_command(capsys):
@@ -100,6 +103,31 @@ def test_all_registry_commands_have_obs_defaults():
         resolved, params = _obs_command_spec(name)
         assert resolved == name
         assert isinstance(params, dict)
+
+
+def test_critical_path_prints_phase_table(capsys):
+    assert cli_main(["critical-path", "iso", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path: iso-dataman" in out
+    assert "coverage" in out and "dominant:" in out
+    for phase in ("queue", "load_disk", "load_wire", "compute",
+                  "merge", "stream", "recovery"):
+        assert phase in out
+
+
+def test_critical_path_warm_and_path_flags(capsys):
+    assert cli_main(
+        ["critical-path", "cutplane", "--workers", "2", "--warm", "--path"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "top critical-path segments" in out
+
+
+def test_critical_path_rejects_bad_arguments(capsys):
+    assert cli_main(["critical-path"]) == 2
+    assert cli_main(["critical-path", "nope"]) == 2
+    assert cli_main(["critical-path", "iso", "--data", "mars"]) == 2
+    assert cli_main(["critical-path", "iso", "--workers", "0"]) == 2
 
 
 def test_profile_prints_hotspots(capsys):

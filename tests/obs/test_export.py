@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.des.trace import TraceRecorder
 from repro.obs import (
     SpanTracer,
@@ -73,6 +75,88 @@ def test_write_chrome_trace_roundtrip(tmp_path):
     doc = write_chrome_trace(str(path), tracer, recorder)
     loaded = json.loads(path.read_text())
     assert loaded == doc
+
+
+# ------------------------------------------------------------------ flows
+def _raw_span(span_id, kind, node, t0, t1, parent=None, **attrs):
+    from repro.obs import Span
+
+    return Span(
+        span_id=span_id, kind=kind, name=kind, node=node,
+        t_start=t0, t_end=t1, parent_id=parent, attrs=attrs or None,
+    )
+
+
+def _pairs(events):
+    """Group s/f events by flow id: {id: {"s": event, "f": event}}."""
+    out = {}
+    for e in events:
+        out.setdefault(e["id"], {})[e["ph"]] = e
+    return out
+
+
+def test_dispatch_flow_links_cross_node_parent_child():
+    from repro.obs import flow_events
+
+    cmd = _raw_span(0, "command", 0, 0.0, 1.0)
+    remote = _raw_span(1, "worker", 3, 0.2, 0.8, parent=0)
+    local = _raw_span(2, "merge", 0, 0.8, 0.9, parent=0)
+    flows = _pairs(flow_events([cmd, remote, local]))
+    # One dispatch edge: command@node0 -> worker@node3; the same-node
+    # merge child draws no arrow.
+    assert set(flows) == {1}
+    start, finish = flows[1]["s"], flows[1]["f"]
+    assert start["pid"] == 0 and finish["pid"] == 3
+    assert finish["bp"] == "e"
+    # The start ts sits inside the source slice, the finish at the
+    # destination's start (both in microseconds).
+    assert 0.0 <= start["ts"] <= 1.0 * 1e6
+    assert finish["ts"] == 0.2 * 1e6
+
+
+def test_dms_flow_links_lookup_to_strategy_load():
+    from repro.obs import flow_events
+
+    load = _raw_span(0, "load", 1, 0.0, 1.0)
+    lookup = _raw_span(1, "dms-lookup", 1, 0.0, 0.2, parent=0)
+    strat = _raw_span(2, "dms-strategy-load", 1, 0.3, 0.9, parent=0,
+                      strategy="fileserver")
+    flows = _pairs(flow_events([load, lookup, strat]))
+    assert 1_000_000 + 2 in flows
+    pair = flows[1_000_000 + 2]
+    assert pair["s"]["name"] == pair["f"]["name"] == "dms"
+    assert pair["f"]["ts"] == pytest.approx(0.3 * 1e6)
+
+
+def test_collect_flow_links_share_packet_to_merge():
+    from repro.obs import flow_events
+
+    cmd = _raw_span(0, "command", 0, 0.0, 2.0)
+    packet = _raw_span(1, "stream-packet", 2, 0.5, 1.0, parent=0, share=1)
+    merge = _raw_span(2, "merge", 0, 1.2, 1.5, parent=0)
+    flows = _pairs(flow_events([cmd, packet, merge]))
+    collect = flows[2_000_000 + 1]
+    assert collect["s"]["pid"] == 2 and collect["f"]["pid"] == 0
+    # A client packet (no share attr) draws no collect arrow.
+    client = _raw_span(3, "stream-packet", 2, 0.5, 1.0, parent=0)
+    assert 2_000_000 + 3 not in _pairs(flow_events([cmd, client, merge]))
+
+
+def test_flow_events_skip_unfinished_spans():
+    from repro.obs import flow_events
+
+    cmd = _raw_span(0, "command", 0, 0.0, 1.0)
+    open_child = _raw_span(1, "worker", 2, 0.2, None, parent=0)
+    assert flow_events([cmd, open_child]) == []
+
+
+def test_chrome_trace_includes_flow_events():
+    tracer, recorder = _tiny_tracer()
+    doc = to_chrome_trace(tracer, recorder)
+    flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+    # command@node0 -> worker@node1 is the one cross-node edge.
+    assert {e["ph"] for e in flows} == {"s", "f"}
+    assert {e["name"] for e in flows} == {"dispatch"}
 
 
 def test_jsonl_records(tmp_path):

@@ -135,7 +135,11 @@ def test_chrome_trace_golden_determinism(tmp_path):
 def test_trace_export_without_recorder(iso_result):
     session, _ = iso_result
     doc = to_chrome_trace(session.tracer)
-    assert all(e["ph"] in {"X", "M"} for e in doc["traceEvents"])
+    # Complete spans, process metadata, and causal flow arrows only
+    # (instant events require the flat recorder).
+    assert all(e["ph"] in {"X", "M", "s", "f"} for e in doc["traceEvents"])
+    flows = [e for e in doc["traceEvents"] if e["ph"] in {"s", "f"}]
+    assert flows, "expected dispatch/dms/collect flow events"
 
 
 def test_run_concurrent_shares_batch_observability():

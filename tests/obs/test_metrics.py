@@ -114,3 +114,45 @@ def test_format_table_mentions_everything():
     assert 'req_total{node="all"}  7' in table
     assert "lat  (histogram, n=1" in table
     assert "#" in table  # a bar was drawn
+
+
+def test_quantile_interpolates_within_bucket():
+    h = Histogram("lat", buckets=[1.0, 2.0, 4.0])
+    for v in (0.5, 1.5, 1.5, 3.0):
+        h.observe(v)
+    # rank q*n walks the cumulative counts; linear within the bucket.
+    assert h.quantile(0.0) == pytest.approx(0.0)
+    assert h.quantile(0.25) == pytest.approx(1.0)
+    assert h.quantile(0.5) == pytest.approx(1.0 + (2.0 - 1.0) * 1.0 / 2.0)
+    assert h.quantile(1.0) == pytest.approx(4.0)
+    # Monotone in q.
+    qs = [h.quantile(q / 20) for q in range(21)]
+    assert qs == sorted(qs)
+
+
+def test_quantile_empty_histogram_is_nan():
+    h = Histogram("lat", buckets=[1.0])
+    assert math.isnan(h.quantile(0.5))
+
+
+def test_quantile_single_bucket():
+    h = Histogram("lat", buckets=[10.0])
+    for _ in range(4):
+        h.observe(5.0)
+    assert 0.0 <= h.quantile(0.5) <= 10.0
+    assert h.quantile(1.0) == pytest.approx(10.0)
+
+
+def test_quantile_overflow_clamps_to_top_bound():
+    h = Histogram("lat", buckets=[1.0, 2.0])
+    h.observe(100.0)  # lands in the +Inf overflow bucket
+    # The histogram cannot resolve beyond its top finite bound.
+    assert h.quantile(0.99) == pytest.approx(2.0)
+
+
+def test_quantile_rejects_out_of_range():
+    h = Histogram("lat", buckets=[1.0])
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+    with pytest.raises(ValueError):
+        h.quantile(1.1)

@@ -128,3 +128,25 @@ def test_mark_and_since_slice_runs():
     tracer.clear()
     assert len(tracer) == 0
     assert tracer.get(a.span_id) is None
+
+
+def test_high_water_tracks_peak_residency():
+    tracer = SpanTracer()
+    assert tracer.high_water == 0
+    spans = [tracer.begin("command", t=float(i)) for i in range(5)]
+    for s in spans:
+        tracer.end(s, t=10.0)
+    assert tracer.high_water == 5
+    tracer.clear()
+    # Peak survives a clear: it describes the session's worst moment.
+    assert tracer.high_water == 5
+
+
+def test_high_water_saturates_at_ring_cap():
+    tracer = SpanTracer(max_spans=3)
+    for i in range(10):
+        s = tracer.begin("command", t=float(i))
+        tracer.end(s, t=float(i) + 0.5)
+    assert len(tracer) == 3
+    assert tracer.dropped == 7
+    assert tracer.high_water == 3
