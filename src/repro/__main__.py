@@ -24,6 +24,11 @@ Usage::
     python -m repro slo [--data engine|propfan] [--workers N] [--repeats N]
                         [--check] [--wall] [--json] [--baseline FILE]
                         [--update-baseline]
+    python -m repro loadtest [--tenants N] [--seed N] [--requests N]
+                             [--rate HZ] [--arrival poisson|bursty]
+                             [--slots N] [--replay] [--json] [--out FILE]
+    python -m repro serve [--host HOST] [--port N] [--data engine|propfan]
+                          [--workers N] [--slots N]
 
 ``trace`` runs one command on a small simulated cluster and exports a
 Chrome ``trace_event`` JSON (open in Perfetto / about:tracing) plus an
@@ -35,8 +40,11 @@ clock to phases (queue/load/compute/merge/stream/recovery) along the
 span DAG's critical path; ``slo`` evaluates the paper's 100 ms
 interaction criterion as declarative SLOs over the sentry workload and,
 with ``--check``, gates against the committed baseline
-(``BENCH_PR6.json``) — the CI regression sentry.  ``<cmd>`` is a
-registered command name or one of the aliases iso, vortex, pathlines,
+(``BENCH_PR6.json``) — the CI regression sentry.  ``loadtest`` soaks the
+multi-tenant serving layer with thousands of simulated tenants in pure
+simulated time (``--replay`` gates on byte-identical fingerprints);
+``serve`` boots the HTTP/REST facade over a real session.  ``<cmd>`` is
+a registered command name or one of the aliases iso, vortex, pathlines,
 cutplane.
 """
 
@@ -78,6 +86,15 @@ USAGE = {
         "python -m repro slo [--data engine|propfan] [--workers N] "
         "[--repeats N] [--check] [--wall] [--json] [--baseline FILE] "
         "[--update-baseline]"
+    ),
+    "loadtest": (
+        "python -m repro loadtest [--tenants N] [--seed N] [--requests N] "
+        "[--rate HZ] [--arrival poisson|bursty] [--slots N] "
+        "[--cancel-frac F] [--replay] [--json] [--out FILE]"
+    ),
+    "serve": (
+        "python -m repro serve [--host HOST] [--port N] "
+        "[--data engine|propfan] [--workers N] [--slots N]"
     ),
 }
 
@@ -191,6 +208,14 @@ def main(argv: list[str] | None = None) -> int:
         return _critical_path_main(args)
     if mode == "slo":
         return _slo_main(args)
+    if mode == "loadtest":
+        from .serve.cli import loadtest_main
+
+        return loadtest_main(args)
+    if mode == "serve":
+        from .serve.cli import serve_main
+
+        return serve_main(args)
     print(f"unknown mode {mode!r}; try --help")
     return 2
 

@@ -21,7 +21,14 @@ from ..des.cluster import SimCluster, SimNode
 from ..des.kernel import Environment, Event
 from ..des.resources import Store
 
-__all__ = ["Mailbox", "Channel", "SimMPIChannel", "SimTCPChannel", "InstantChannel"]
+__all__ = [
+    "Mailbox",
+    "Channel",
+    "ClientUplink",
+    "SimMPIChannel",
+    "SimTCPChannel",
+    "InstantChannel",
+]
 
 
 class Mailbox:
@@ -75,6 +82,27 @@ class SimTCPChannel:
     def send(self, sender: SimNode, message, dest: Mailbox):
         yield from self.cluster.send_to_client(sender, _wire_bytes(message))
         dest.put(message)
+
+
+class ClientUplink:
+    """The client → scheduler direction of the serialized TCP link.
+
+    Command submissions travel *up* the same client link result packets
+    travel down; this wrapper charges that link for a request's wire
+    size and (optionally) delivers it to a scheduler mailbox.  Both the
+    single-client session and the multi-tenant serving layer submit
+    through it, so submission cost is modeled in exactly one place.
+    """
+
+    def __init__(self, cluster: SimCluster):
+        self.cluster = cluster
+        self.sent = 0
+
+    def send(self, message, dest: Mailbox | None = None):
+        yield from self.cluster.client_link.transfer(_wire_bytes(message))
+        self.sent += 1
+        if dest is not None:
+            dest.put(message)
 
 
 class InstantChannel:

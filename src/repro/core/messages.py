@@ -39,6 +39,7 @@ class CommandRequest:
     command: str
     params: dict[str, Any] = field(default_factory=dict)
     group_size: int | None = None  #: None = whole worker pool
+    tenant: str = "default"  #: originating tenant (serving layer)
 
     @property
     def nbytes(self) -> int:

@@ -84,6 +84,8 @@ class RunRecord:
     #: seconds between submit and the work group being fully acquired
     #: (setup + waiting on busy workers) — the SLO layer's queue term.
     queue_wait_s: float = 0.0
+    #: originating tenant when submitted through the serving layer.
+    tenant: str = "default"
 
     @property
     def runtime(self) -> float:
@@ -233,6 +235,7 @@ class Scheduler:
         request_id: int,
         command_kwargs: dict[str, Any] | None = None,
         parent_span=None,
+        tenant: str = "default",
     ) -> Generator[Event, None, RunRecord]:
         """Process body: execute one command end to end."""
         if not 1 <= group_size <= len(self.workers):
@@ -245,6 +248,7 @@ class Scheduler:
             command=name,
             group_size=group_size,
             t_start=self.env.now,
+            tenant=tenant,
         )
         sched_node = self.cluster.scheduler_node
         # Command setup (group formation, argument handling), then wait
@@ -259,10 +263,15 @@ class Scheduler:
             )
         cspan = None
         if self.tracer is not None:
+            # The tenant attribute is added only for non-default tenants
+            # so single-client traces (and their pinned fingerprints)
+            # are byte-identical to the pre-serving-layer ones.
+            extra = {"tenant": tenant} if tenant != "default" else {}
             cspan = self.tracer.begin(
                 "command", name=name, node=sched_node.node_id,
                 parent=parent_span, request=request_id,
                 workers=list(worker_ids), group_size=group_size,
+                **extra,
             )
         try:
             record = yield from self._run_on_group(
@@ -608,6 +617,7 @@ class Scheduler:
                     group_size,
                     client_mailbox,
                     message.request_id,
+                    tenant=message.tenant,
                 ),
                 name=f"serve-{message.command}-{message.request_id}",
             )

@@ -24,7 +24,7 @@ from ..dms.server import DataManagerServer
 from ..dms.source import BlockSource, SyntheticSource
 from ..synth.base import SyntheticDataset
 from ..viz.client import VisualizationClient
-from .channels import SimTCPChannel
+from .channels import ClientUplink, SimTCPChannel
 from .commands import CommandRegistry
 from .costs import CostModel, DEFAULT_COSTS
 from .messages import CommandRequest, next_request_id
@@ -65,6 +65,8 @@ class CommandResult:
     #: submit → work group fully acquired [sim s]; the queue term the
     #: SLO/critical-path layer reports separately from execution.
     queue_wait_s: float = 0.0
+    #: originating tenant when submitted through the serving layer.
+    tenant: str = "default"
 
     @property
     def complete(self) -> bool:
@@ -168,6 +170,9 @@ class ViracochaSession:
             recovery=recovery,
         )
         self.client = VisualizationClient(self.env)
+        #: client → scheduler direction of the TCP link; the serving
+        #: layer submits through the same uplink as :meth:`run`.
+        self.uplink = ClientUplink(self.cluster)
         self.n_workers = config.n_workers
 
     # ---------------------------------------------------------------- run
@@ -176,6 +181,8 @@ class ViracochaSession:
         command: str,
         params: dict[str, Any] | None = None,
         group_size: int | None = None,
+        *,
+        tenant: str = "default",
         **command_kwargs: Any,
     ) -> CommandResult:
         """Submit one command and simulate it to completion."""
@@ -198,8 +205,8 @@ class ViracochaSession:
         def submit():
             # Client → scheduler request over TCP (charged on the link,
             # not attributed to any worker node).
-            request = CommandRequest(request_id, command, params)
-            yield from self.cluster.client_link.transfer(request.nbytes)
+            request = CommandRequest(request_id, command, params, tenant=tenant)
+            yield from self.uplink.send(request)
             record = yield from self.scheduler.run_command(
                 command,
                 params,
@@ -208,6 +215,7 @@ class ViracochaSession:
                 request_id,
                 command_kwargs=command_kwargs,
                 parent_span=session_span,
+                tenant=tenant,
             )
             return record
 
@@ -254,6 +262,7 @@ class ViracochaSession:
                 "reassignments": record.reassignments,
             },
             queue_wait_s=record.queue_wait_s,
+            tenant=tenant,
         )
 
     # ------------------------------------------------------------ helpers
@@ -370,24 +379,29 @@ class ViracochaSession:
             command = spec["command"]
             params = dict(spec.get("params") or {})
             group_size = spec.get("group_size") or self.n_workers
+            tenant = spec.get("tenant") or "default"
             request_id = next_request_id()
             done = self.client.expect(request_id)
 
             def submit(command=command, params=params, group_size=group_size,
-                       request_id=request_id):
-                request = CommandRequest(request_id, command, params)
-                yield from self.cluster.client_link.transfer(request.nbytes)
+                       request_id=request_id, tenant=tenant):
+                request = CommandRequest(
+                    request_id, command, params, tenant=tenant
+                )
+                yield from self.uplink.send(request)
                 record = yield from self.scheduler.run_command(
                     command, params, group_size, self.client.mailbox, request_id,
-                    parent_span=batch_span,
+                    parent_span=batch_span, tenant=tenant,
                 )
                 return record
 
             proc = self.env.process(submit(), name=f"run-{command}-{request_id}")
-            submissions.append((command, params, group_size, request_id, done, proc))
+            submissions.append(
+                (command, params, group_size, tenant, request_id, done, proc)
+            )
 
         results = []
-        for command, params, group_size, request_id, done, proc in submissions:
+        for command, params, group_size, tenant, request_id, done, proc in submissions:
             record = self.env.run(until=proc)
             self.env.run(until=done)
             packets = self.client.packets_by_request.get(request_id, [])
@@ -430,6 +444,7 @@ class ViracochaSession:
                         "reassignments": record.reassignments,
                     },
                     queue_wait_s=record.queue_wait_s,
+                    tenant=tenant,
                 )
             )
         self.tracer.end(batch_span)

@@ -128,6 +128,10 @@ def track_slos(results: "list[Any]", tracker: Any = None) -> Any:
     Builds a stock :class:`repro.obs.slo.SLOTracker` when none is
     given, so a chaos suite can report attainment and burn rate with
     one call: ``track_slos(runs).format_report("command")``.
+
+    Results submitted through the serving layer carry their tenant, so
+    multi-tenant chaos runs roll up per tenant for free:
+    ``track_slos(runs).format_report("tenant")``.
     """
     if tracker is None:
         from ..obs.slo import SLOTracker, default_slos

@@ -59,14 +59,14 @@ class SLODefinition:
     """
 
     name: str
-    metric: str  #: "latency" | "runtime" | "degraded"
-    threshold: float  #: seconds ("latency"/"runtime"); ignored for "degraded"
+    metric: str  #: "latency" | "runtime" | "queue_wait" | "degraded"
+    threshold: float  #: seconds; ignored for "degraded"
     target: float = 0.95  #: required good fraction (0..1]
     command_class: str = "*"
     description: str = ""
 
     def __post_init__(self):
-        if self.metric not in ("latency", "runtime", "degraded"):
+        if self.metric not in ("latency", "runtime", "queue_wait", "degraded"):
             raise ValueError(f"unknown SLO metric {self.metric!r}")
         if not 0.0 < self.target <= 1.0:
             raise ValueError(f"target must be in (0, 1], got {self.target}")
@@ -91,6 +91,7 @@ class Observation:
     t: float  #: simulated completion time
     degraded: bool = False
     tenant: str = "default"
+    queue_wait: float = 0.0  #: submit → dispatch in a serving queue [sim s]
 
 
 @dataclass
@@ -207,15 +208,18 @@ class SLOTracker:
         t: float,
         degraded: bool = False,
         tenant: str = "default",
+        queue_wait: float = 0.0,
     ) -> None:
-        obs = Observation(command, latency, runtime, t, degraded, tenant)
+        obs = Observation(
+            command, latency, runtime, t, degraded, tenant, queue_wait
+        )
         self.observations += 1
         for slo in self.slos:
             if not slo.matches(command):
                 continue
             good = slo.is_good(obs)
             value = None
-            if slo.metric in ("latency", "runtime"):
+            if slo.metric in ("latency", "runtime", "queue_wait"):
                 value = getattr(obs, slo.metric)
             for dim, key in (
                 ("command", command), ("tenant", tenant), ("all", "all")
@@ -225,11 +229,13 @@ class SLOTracker:
                     cell = self._windows[(slo.name, dim, key)] = _Window()
                 cell.observe(good, value, t)
 
-    def observe_result(self, result: Any, tenant: str = "default") -> None:
+    def observe_result(self, result: Any, tenant: str | None = None) -> None:
         """Ingest one :class:`~repro.core.session.CommandResult`."""
         # Completion timestamp: the final packet's simulated arrival if
         # available, else the runtime itself (t=0 submit).
         t = result.packet_times[-1] if result.packet_times else result.total_runtime
+        if tenant is None:
+            tenant = getattr(result, "tenant", "default")
         self.observe(
             result.command,
             latency=result.latency,
@@ -237,6 +243,7 @@ class SLOTracker:
             t=t,
             degraded=result.degraded,
             tenant=tenant,
+            queue_wait=getattr(result, "queue_wait_s", 0.0),
         )
 
     # -------------------------------------------------------- evaluation

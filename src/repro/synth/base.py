@@ -74,7 +74,10 @@ def fit_modeled_shapes(
             lo = mid
         else:
             hi = mid
-    s = 0.5 * (lo + hi)
+    # total() is a step function of s; the bracket ends straddle the
+    # target, so pick whichever side rounds closer rather than the
+    # midpoint (which can land a full rounding jump away on tiny dims).
+    s = min((lo, hi), key=lambda cand: abs(total(cand) - target_points))
     return [
         tuple(max(2, round(d * s)) for d in shape)  # type: ignore[misc]
         for shape in actual_shapes

@@ -63,3 +63,27 @@ def small_engine():
 def make_session():
     """Session factory fixture; see :func:`paper_session` for arguments."""
     return paper_session
+
+
+def serve_server(n_workers: int = 2, slots: int = 1, slos=None,
+                 **session_kwargs):
+    """A :class:`~repro.serve.server.TenantServer` over a paper session.
+
+    Returns ``(session, server)``.  The dataset comes from
+    :func:`cached_engine`, so every serve test shares the one warmed
+    engine build instead of re-synthesizing it per test.
+    """
+    from repro.serve import SessionBackend, TenantServer, serve_slos
+
+    session = paper_session(n_workers=n_workers, **session_kwargs)
+    backend = SessionBackend(session, slots=slots)
+    server = TenantServer(
+        backend, slos=slos if slos is not None else serve_slos()
+    )
+    return session, server
+
+
+@pytest.fixture()
+def make_serve_server():
+    """Factory fixture for session-backed tenant servers."""
+    return serve_server

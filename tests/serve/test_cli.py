@@ -1,0 +1,104 @@
+"""CLI verbs: ``repro loadtest`` and ``repro serve`` argument handling."""
+
+import json
+
+from repro.__main__ import main
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    return code, capsys.readouterr().out
+
+
+class TestLoadtestVerb:
+    def test_small_soak_with_replay(self, capsys):
+        code, out = run_cli(
+            ["loadtest", "--tenants", "40", "--seed", "7",
+             "--requests", "2", "--replay"],
+            capsys,
+        )
+        assert code == 0
+        assert "40 tenants, seed 7" in out
+        assert "100 ms criterion" in out
+        assert "fingerprints identical" in out
+
+    def test_json_output_and_artifact(self, tmp_path, capsys):
+        out_file = tmp_path / "rollup.json"
+        code, out = run_cli(
+            ["loadtest", "--tenants", "25", "--seed", "3",
+             "--requests", "2", "--json", "--out", str(out_file)],
+            capsys,
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["spec"]["n_tenants"] == 25
+        assert doc["counts"]["submitted"] == 50
+        assert json.loads(out_file.read_text()) == doc
+
+    def test_equals_form_flags(self, capsys):
+        code, out = run_cli(
+            ["loadtest", "--tenants=10", "--seed=5", "--requests=1",
+             "--arrival=bursty"],
+            capsys,
+        )
+        assert code == 0
+        assert "bursty arrivals" in out
+
+    def test_bad_arrival_rejected(self, capsys):
+        code, out = run_cli(["loadtest", "--arrival", "uniform"], capsys)
+        assert code == 2
+        assert "usage" in out
+
+    def test_missing_flag_value_rejected(self, capsys):
+        code, out = run_cli(["loadtest", "--tenants"], capsys)
+        assert code == 2
+
+    def test_positional_arg_rejected(self, capsys):
+        code, out = run_cli(["loadtest", "surprise"], capsys)
+        assert code == 2
+
+    def test_help(self, capsys):
+        code, out = run_cli(["loadtest", "--help"], capsys)
+        assert code == 0
+        assert "--tenants" in out
+
+
+class TestServeVerb:
+    def test_bad_dataset_rejected(self, capsys):
+        code, out = run_cli(["serve", "--data", "mars"], capsys)
+        assert code == 2
+        assert "engine or propfan" in out
+
+    def test_bad_port_rejected(self, capsys):
+        code, out = run_cli(["serve", "--port", "http"], capsys)
+        assert code == 2
+
+    def test_nonpositive_workers_rejected(self, capsys):
+        code, out = run_cli(["serve", "--workers", "0"], capsys)
+        assert code == 2
+
+    def test_help(self, capsys):
+        code, out = run_cli(["serve", "--help"], capsys)
+        assert code == 0
+        assert "--port" in out
+
+
+class TestBuildServeApp:
+    def test_builds_session_backed_app(self):
+        from repro.serve.cli import build_serve_app
+
+        app = build_serve_app("engine", workers=2)
+        status, payload = app.handle("GET", "/healthz", None)
+        assert status == 200
+        assert payload["tenants"] == 0
+        status, payload = app.handle(
+            "POST", "/v1/tenants", {"name": "vr", "lane": "interactive"}
+        )
+        assert status == 201
+        cut = {"normal": [0.0, 0.0, 1.0], "offset": 0.8, "time_range": [0, 1]}
+        status, payload = app.handle("POST", "/v1/commands", {
+            "tenant": "vr", "command": "cutplane", "params": cut,
+        })
+        assert status == 200
+        assert payload["state"] == "done"
+        assert payload["runtime_s"] > 0

@@ -1,0 +1,158 @@
+"""The DES-scale load/soak harness: 1 000+ tenants, replay determinism."""
+
+import pytest
+
+from repro.serve import LoadSpec, build_workloads, run_loadtest
+
+#: the soak shape CI runs: a thousand tenants, a few thousand commands.
+SOAK = LoadSpec(
+    n_tenants=1000,
+    seed=7,
+    requests_per_tenant=3,
+    rate_hz=0.2,
+    slots=16,
+    cancel_frac=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def soak_report():
+    """One shared 1 000-tenant run (the suite asserts many facets of it)."""
+    return run_loadtest(SOAK)
+
+
+class TestBuildWorkloads:
+    def test_schedules_are_deterministic_per_seed(self):
+        w1 = build_workloads(SOAK)
+        w2 = build_workloads(SOAK)
+        assert len(w1) == len(w2) == 1000
+        for a, b in zip(w1, w2):
+            assert a.config == b.config
+            assert a.requests == b.requests
+
+    def test_different_seeds_differ(self):
+        w7 = build_workloads(SOAK)
+        w8 = build_workloads(LoadSpec(
+            n_tenants=1000, seed=8, requests_per_tenant=3,
+            rate_hz=0.2, slots=16, cancel_frac=0.05,
+        ))
+        assert any(
+            a.requests != b.requests for a, b in zip(w7, w8)
+        )
+
+    def test_arrivals_are_monotone_and_positive(self):
+        for workload in build_workloads(LoadSpec(n_tenants=20, seed=3)):
+            times = [r.at for r in workload.requests]
+            assert times == sorted(times)
+            assert all(t > 0 for t in times)
+
+    def test_bursty_arrivals_cluster(self):
+        spec = LoadSpec(
+            n_tenants=10, seed=5, requests_per_tenant=6,
+            arrival="bursty", burst_size=3, burst_gap_s=100.0,
+        )
+        clustered = 0
+        total = 0
+        for workload in build_workloads(spec):
+            times = [r.at for r in workload.requests]
+            for a, b in zip(times, times[1:]):
+                total += 1
+                if b - a == 0.0:
+                    clustered += 1
+        # Within a burst, submissions are back-to-back.
+        assert clustered >= total // 2
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError, match="n_tenants"):
+            LoadSpec(n_tenants=0)
+        with pytest.raises(ValueError, match="arrival"):
+            LoadSpec(arrival="uniform")
+        with pytest.raises(ValueError, match="cancel_frac"):
+            LoadSpec(cancel_frac=1.5)
+
+
+class TestSoak:
+    def test_thousand_tenants_terminate(self, soak_report):
+        r = soak_report
+        assert r.submitted == 3000
+        assert r.submitted == (
+            r.rejected + r.completed + r.cancelled + r.failed
+        )
+        assert r.failed == 0
+        assert r.completed > 2500
+        assert r.cancelled > 0  # cancel_frac=0.05 actually fired
+        assert r.sim_duration_s > 0
+        # Every admitted command reached a terminal state and returned
+        # its admission slot.
+        for state in r.server.tenants.values():
+            assert state.in_flight == 0
+            assert state.bytes_in_use == 0
+
+    def test_replay_fingerprint_is_byte_identical(self, soak_report):
+        replay = run_loadtest(SOAK)
+        assert replay.fingerprint == soak_report.fingerprint
+        assert replay.sim_duration_s == soak_report.sim_duration_s
+
+    def test_different_seed_changes_fingerprint(self, soak_report):
+        other = run_loadtest(LoadSpec(
+            n_tenants=1000, seed=11, requests_per_tenant=3,
+            rate_hz=0.2, slots=16, cancel_frac=0.05,
+        ))
+        assert other.fingerprint != soak_report.fingerprint
+
+    def test_p99_queue_wait_bounded(self, soak_report):
+        # The soak is provisioned below saturation; queue waits must
+        # stay well under the 100 ms interaction budget.
+        assert soak_report.queue_wait_quantile(0.99) < 0.1
+        assert soak_report.queue_wait_quantile(0.50) <= (
+            soak_report.queue_wait_quantile(0.99)
+        )
+
+    def test_slo_rollups_cover_every_active_tenant(self, soak_report):
+        tracker = soak_report.tracker
+        tenants_with_completions = {
+            name for name, st in soak_report.server.tenants.items()
+            if st.completed
+        }
+        rollup_keys = set(tracker.keys("tenant"))
+        assert tenants_with_completions == rollup_keys
+        # The 100 ms criterion is evaluated through repro.obs.slo.
+        overall = tracker.overall("interactive-response")
+        assert overall is not None
+        assert overall.total == soak_report.completed
+        assert overall.slo.threshold == pytest.approx(0.1)
+
+    def test_report_artifact_shape(self, soak_report, tmp_path):
+        doc = soak_report.to_json()
+        assert doc["fingerprint"] == soak_report.fingerprint
+        assert doc["spec"]["n_tenants"] == 1000
+        assert doc["counts"]["submitted"] == 3000
+        assert len(doc["tenants"]) == 1000
+        assert doc["slo_rollups"], "per-tenant rollups must be present"
+        sample = doc["slo_rollups"][0]
+        assert {"slo", "tenant", "attainment", "p50_s", "p99_s"} <= set(sample)
+        out = tmp_path / "rollup.json"
+        soak_report.write_json(str(out))
+        import json
+
+        assert json.loads(out.read_text())["fingerprint"] == doc["fingerprint"]
+
+    def test_format_mentions_criterion_and_fingerprint(self, soak_report):
+        text = soak_report.format()
+        assert "100 ms criterion" in text
+        assert soak_report.fingerprint in text
+        assert "p99" in text
+
+
+class TestQuotasUnderLoad:
+    def test_overdriven_tenants_get_rejections_not_failures(self):
+        spec = LoadSpec(
+            n_tenants=50, seed=13, requests_per_tenant=10,
+            rate_hz=50.0,  # arrivals far faster than service
+            max_in_flight=2, slots=4,
+        )
+        report = run_loadtest(spec)
+        assert report.rejected > 0
+        assert report.failed == 0
+        for state in report.server.tenants.values():
+            assert state.peak_in_flight <= state.config.max_in_flight

@@ -1,0 +1,152 @@
+"""Unit tests for the weighted-fair multi-lane command queue."""
+
+from repro.des import Environment
+from repro.serve import LANE_BACKGROUND, LANE_INTERACTIVE, LANE_NORMAL
+from repro.serve.queue import FairCommandQueue
+
+
+class Item:
+    """Queue payload double (the queue stamps attributes on items)."""
+
+    def __init__(self, tenant, tag):
+        self.tenant = tenant
+        self.tag = tag
+
+    def __repr__(self):
+        return f"Item({self.tenant}, {self.tag})"
+
+
+def drain(queue, n):
+    """Pop ``n`` items synchronously (backlog exists, events pre-fire)."""
+    out = []
+    for _ in range(n):
+        evt = queue.get()
+        assert evt.triggered, "expected backlog to satisfy get immediately"
+        out.append(evt.value)
+    return out
+
+
+def make_queue(tenants, record_pops=False):
+    env = Environment()
+    q = FairCommandQueue(env, record_pops=record_pops)
+    for name, weight in tenants:
+        q.add_tenant(name, weight)
+    return env, q
+
+
+def test_fifo_within_single_tenant():
+    _, q = make_queue([("a", 1)])
+    items = [Item("a", i) for i in range(5)]
+    for item in items:
+        q.put("a", LANE_NORMAL, item)
+    assert drain(q, 5) == items
+
+
+def test_round_robin_equal_weights():
+    _, q = make_queue([("a", 1), ("b", 1)])
+    for i in range(3):
+        q.put("a", LANE_NORMAL, Item("a", i))
+        q.put("b", LANE_NORMAL, Item("b", i))
+    tenants = [it.tenant for it in drain(q, 6)]
+    assert tenants == ["a", "b", "a", "b", "a", "b"]
+
+
+def test_weighted_share_under_contention():
+    _, q = make_queue([("heavy", 3), ("light", 1)])
+    for i in range(6):
+        q.put("heavy", LANE_NORMAL, Item("heavy", i))
+    for i in range(2):
+        q.put("light", LANE_NORMAL, Item("light", i))
+    tenants = [it.tenant for it in drain(q, 8)]
+    # Per round: 3 heavy then 1 light.
+    assert tenants == ["heavy"] * 3 + ["light"] + ["heavy"] * 3 + ["light"]
+
+
+def test_priority_lane_preempts_backlog():
+    _, q = make_queue([("batch", 1), ("vr", 1)])
+    for i in range(3):
+        q.put("batch", LANE_BACKGROUND, Item("batch", i))
+    q.put("vr", LANE_INTERACTIVE, Item("vr", 0))
+    # The interactive item wins even though background arrived first.
+    got = drain(q, 4)
+    assert got[0].tenant == "vr"
+    assert [it.tenant for it in got[1:]] == ["batch"] * 3
+
+
+def test_get_blocks_until_put_and_selection_happens_at_fire_time():
+    env, q = make_queue([("a", 1), ("b", 1)])
+    received = []
+
+    def consumer():
+        item = yield q.get()
+        received.append(item)
+
+    env.process(consumer())
+    env.run()
+    assert received == []
+    # Two puts in the same timestep: the blocked getter receives the
+    # fairness-selected head, the second item stays queued.
+    q.put("b", LANE_BACKGROUND, Item("b", 0))
+    q.put("a", LANE_INTERACTIVE, Item("a", 0))
+    env.run()
+    assert len(received) == 1
+    # First put wins the already-waiting getter (selection at put time
+    # sees only b); the later interactive item is still the next pop.
+    assert received[0].tenant == "b"
+    assert drain(q, 1)[0].tenant == "a"
+
+
+def test_discard_removes_queued_item_lazily():
+    _, q = make_queue([("a", 1), ("b", 1)])
+    dead = Item("a", "dead")
+    live = Item("a", "live")
+    q.put("a", LANE_NORMAL, dead)
+    q.put("a", LANE_NORMAL, live)
+    q.put("b", LANE_NORMAL, Item("b", 0))
+    q.discard("a", LANE_NORMAL, dead)
+    assert len(q) == 2
+    got = drain(q, 2)
+    assert dead not in got
+    assert live in got
+    # Double-discard is a no-op.
+    q.discard("a", LANE_NORMAL, dead)
+    assert len(q) == 0
+
+
+def test_popped_stamp_marks_dequeued_items():
+    _, q = make_queue([("a", 1)])
+    item = Item("a", 0)
+    q.put("a", LANE_NORMAL, item)
+    assert not FairCommandQueue.popped(item)
+    drain(q, 1)
+    assert FairCommandQueue.popped(item)
+
+
+def test_backlog_accounting_per_lane():
+    _, q = make_queue([("a", 1), ("b", 2)])
+    q.put("a", LANE_NORMAL, Item("a", 0))
+    q.put("a", LANE_BACKGROUND, Item("a", 1))
+    q.put("b", LANE_NORMAL, Item("b", 0))
+    assert q.backlog() == {"a": 2, "b": 1}
+    assert q.backlog(LANE_NORMAL) == {"a": 1, "b": 1}
+    assert q.backlog(LANE_INTERACTIVE) == {}
+
+
+def test_pop_log_records_lane_tenant_and_backlog():
+    _, q = make_queue([("a", 1), ("b", 1)], record_pops=True)
+    q.put("a", LANE_NORMAL, Item("a", 0))
+    q.put("b", LANE_NORMAL, Item("b", 0))
+    drain(q, 2)
+    assert q.pop_log[0] == (LANE_NORMAL, "a", ("a", "b"))
+    assert q.pop_log[1] == (LANE_NORMAL, "b", ("b",))
+
+
+def test_idle_tenant_keeps_no_stale_credit_advantage():
+    """A tenant arriving mid-round is served within one rotation."""
+    _, q = make_queue([("a", 2), ("b", 2)])
+    for i in range(4):
+        q.put("a", LANE_NORMAL, Item("a", i))
+    assert [it.tenant for it in drain(q, 2)] == ["a", "a"]
+    q.put("b", LANE_NORMAL, Item("b", 0))
+    got = [it.tenant for it in drain(q, 3)]
+    assert got.count("b") == 1

@@ -1,0 +1,239 @@
+"""TenantServer behavior: admission, quotas, cancellation, SLO rollups."""
+
+import pytest
+
+from repro.des import Environment
+from repro.serve import (
+    LANE_INTERACTIVE,
+    ModeledBackend,
+    ServiceProfile,
+    TenantConfig,
+    TenantServer,
+    serve_slos,
+)
+
+
+def modeled_server(slots=2, **server_kwargs):
+    env = Environment()
+    backend = ModeledBackend(env, slots=slots)
+    return env, TenantServer(backend, **server_kwargs)
+
+
+def profile(total=1.0, first=None):
+    return ServiceProfile(total_s=total, first_byte_s=first)
+
+
+class TestAdmission:
+    def test_unknown_tenant_is_rejected(self):
+        _, srv = modeled_server()
+        handle = srv.submit("ghost", "cutplane", service=profile())
+        assert handle.state == "rejected"
+        assert handle.reject_reason == "unknown-tenant"
+        assert handle.finished
+        assert handle.done.triggered
+
+    def test_in_flight_quota_enforced_at_submit(self):
+        env, srv = modeled_server(slots=1)
+        srv.register("a", max_in_flight=2)
+        h1 = srv.submit("a", "cutplane", service=profile())
+        h2 = srv.submit("a", "cutplane", service=profile())
+        h3 = srv.submit("a", "cutplane", service=profile())
+        assert [h.state for h in (h1, h2)] != ["rejected", "rejected"]
+        assert h3.state == "rejected"
+        assert h3.reject_reason == "in-flight-quota"
+        state = srv.tenant("a")
+        assert state.rejected == 1
+        assert state.reject_reasons == {"in-flight-quota": 1}
+        env.run(until=srv.drained())
+        # Slots released: a new submit is admitted again.
+        assert srv.submit("a", "cutplane", service=profile()).state == "queued"
+
+    def test_byte_budget_enforced(self):
+        env, srv = modeled_server()
+        srv.register("a", max_in_flight=10, byte_budget=1000)
+        h1 = srv.submit("a", "cutplane", cost_bytes=700, service=profile())
+        h2 = srv.submit("a", "cutplane", cost_bytes=400, service=profile())
+        assert h1.state == "queued"
+        assert h2.state == "rejected"
+        assert h2.reject_reason == "byte-budget"
+        env.run(until=srv.drained())
+        assert srv.tenant("a").bytes_in_use == 0
+
+    def test_duplicate_registration_rejected(self):
+        _, srv = modeled_server()
+        srv.register("a")
+        with pytest.raises(ValueError, match="already registered"):
+            srv.register(TenantConfig(name="a"))
+
+
+class TestExecution:
+    def test_commands_complete_with_latency_split(self):
+        env, srv = modeled_server()
+        srv.register("a")
+        handle = srv.submit(
+            "a", "iso-dataman", service=profile(total=2.0, first=0.5)
+        )
+        env.run(until=srv.drained())
+        assert handle.state == "done"
+        assert handle.t_start == 0.0
+        assert handle.t_first == pytest.approx(0.5)
+        assert handle.t_done == pytest.approx(2.0)
+        assert handle.latency_s == pytest.approx(0.5)
+        assert handle.runtime_s == pytest.approx(2.0)
+        assert srv.tenant("a").completed == 1
+
+    def test_queue_wait_measured_under_contention(self):
+        env, srv = modeled_server(slots=1)
+        srv.register("a", max_in_flight=10)
+        h1 = srv.submit("a", "cutplane", service=profile(total=1.0))
+        h2 = srv.submit("a", "cutplane", service=profile(total=1.0))
+        env.run(until=srv.drained())
+        assert h1.queue_wait_s == pytest.approx(0.0)
+        assert h2.queue_wait_s == pytest.approx(1.0)
+        state = srv.tenant("a")
+        assert state.max_queue_wait_s == pytest.approx(1.0)
+
+    def test_degraded_service_counted(self):
+        env, srv = modeled_server()
+        srv.register("a")
+        handle = srv.submit(
+            "a", "cutplane",
+            service=ServiceProfile(total_s=1.0, degraded=True),
+        )
+        env.run(until=srv.drained())
+        assert handle.state == "done"
+        assert handle.degraded
+        assert srv.tenant("a").degraded == 1
+
+
+class TestCancellation:
+    def test_cancel_queued_releases_immediately(self):
+        env, srv = modeled_server(slots=1)
+        srv.register("a", max_in_flight=10)
+        running = srv.submit("a", "cutplane", service=profile(total=5.0))
+        queued = srv.submit("a", "cutplane", service=profile(total=5.0))
+        env.run(until=0.1)
+        assert queued.state == "queued"
+        assert srv.cancel(queued) is True
+        assert queued.state == "cancelled"
+        assert queued.done.triggered
+        state = srv.tenant("a")
+        assert state.cancelled == 1
+        assert state.in_flight == 1  # only the running one remains
+        env.run(until=srv.drained())
+        assert running.state == "done"
+
+    def test_cancel_running_interrupts_modeled_backend(self):
+        env, srv = modeled_server()
+        srv.register("a")
+        handle = srv.submit("a", "cutplane", service=profile(total=10.0))
+        env.run(until=1.0)
+        assert handle.state == "running"
+        srv.cancel(handle)
+        env.run(until=srv.drained())
+        assert handle.state == "cancelled"
+        assert handle.t_done == pytest.approx(1.0)
+        state = srv.tenant("a")
+        assert state.in_flight == 0
+        assert state.running == 0
+        # The backend slot was returned: new work executes.
+        fresh = srv.submit("a", "cutplane", service=profile(total=1.0))
+        env.run(until=srv.drained())
+        assert fresh.state == "done"
+
+    def test_cancel_terminal_handle_is_noop(self):
+        env, srv = modeled_server()
+        srv.register("a")
+        handle = srv.submit("a", "cutplane", service=profile(total=1.0))
+        env.run(until=srv.drained())
+        assert handle.state == "done"
+        assert srv.cancel(handle) is False
+        assert handle.state == "done"
+
+
+class TestSLORollups:
+    def test_tracker_receives_per_tenant_observations(self):
+        env, srv = modeled_server(slots=4, slos=serve_slos())
+        srv.register("fast", lane=LANE_INTERACTIVE)
+        srv.register("slow")
+        srv.submit("fast", "cutplane", service=profile(total=0.05, first=0.02))
+        srv.submit("slow", "iso-dataman", service=profile(total=3.0, first=1.0))
+        env.run(until=srv.drained())
+        rows = srv.tracker.status("tenant")
+        by_key = {(st.slo.name, st.key): st for st in rows}
+        assert by_key[("interactive-response", "fast")].attainment == 1.0
+        assert by_key[("interactive-response", "slow")].attainment == 0.0
+        assert by_key[("queue-admit", "fast")].total == 1
+
+    def test_queue_wait_slo_judges_waits_not_latency(self):
+        env, srv = modeled_server(slots=1, slos=serve_slos(
+            queue_wait_threshold=0.5,
+        ))
+        srv.register("a", max_in_flight=10)
+        srv.submit("a", "cutplane", service=profile(total=1.0))
+        srv.submit("a", "cutplane", service=profile(total=1.0))
+        env.run(until=srv.drained())
+        st = next(
+            s for s in srv.tracker.status("tenant")
+            if s.slo.name == "queue-admit"
+        )
+        # First waited 0 s (good), second 1 s (bad at 0.5 s threshold).
+        assert st.total == 2
+        assert st.good == 1
+
+    def test_fingerprint_stable_and_sensitive(self):
+        def run(cancel):
+            env, srv = modeled_server()
+            srv.register("a")
+            h = srv.submit("a", "cutplane", service=profile(total=2.0))
+            if cancel:
+                env.run(until=0.5)
+                srv.cancel(h)
+            env.run(until=srv.drained())
+            return srv.fingerprint()
+
+        assert run(False) == run(False)
+        assert run(False) != run(True)
+
+    def test_publish_metrics_exports_counters(self):
+        from repro.obs import MetricsRegistry
+
+        env, srv = modeled_server()
+        srv.register("a")
+        srv.submit("a", "cutplane", service=profile())
+        env.run(until=srv.drained())
+        registry = MetricsRegistry()
+        srv.publish_metrics(registry)
+        text = registry.render_prometheus()
+        assert 'viracocha_serve_completed_total{tenant="a"} 1' in text
+        assert "viracocha_serve_queue_depth 0" in text
+
+
+class TestSessionBackend:
+    def test_real_commands_carry_tenant_and_feed_slos(self, make_serve_server):
+        session, srv = make_serve_server(n_workers=2)
+        srv.register("vr", lane=LANE_INTERACTIVE, weight=2)
+        cut = {"normal": (0.0, 0.0, 1.0), "offset": 0.8, "time_range": (0, 1)}
+        handle = srv.submit("vr", "cutplane", cut, cost_bytes=512)
+        session.env.run(until=srv.drained())
+        assert handle.state == "done"
+        assert handle.outcome.tenant == "vr"
+        assert handle.t_first is not None
+        assert handle.latency_s > 0
+        rows = srv.tracker.status("tenant")
+        assert {st.key for st in rows} == {"vr"}
+
+    def test_fair_interleave_across_two_tenants(self, make_serve_server):
+        session, srv = make_serve_server(n_workers=2, slots=1)
+        srv.register("a")
+        srv.register("b")
+        cut = {"normal": (0.0, 0.0, 1.0), "offset": 0.8, "time_range": (0, 1)}
+        handles = []
+        for _ in range(2):
+            handles.append(srv.submit("a", "cutplane", cut))
+            handles.append(srv.submit("b", "cutplane", cut))
+        session.env.run(until=srv.drained())
+        assert all(h.state == "done" for h in handles)
+        # Equal weights: service alternates a, b, a, b by start time.
+        order = sorted(handles, key=lambda h: h.t_start)
+        assert [h.tenant for h in order] == ["a", "b", "a", "b"]
