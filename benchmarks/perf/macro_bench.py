@@ -42,6 +42,20 @@ Since PR 6 the regression sentry (``python -m repro slo --check
 loads the floors committed inside ``BENCH_PR4.json`` /
 ``BENCH_PR5.json`` and calls :func:`measure` / :func:`measure_pr5`
 here.  The per-suite ``--check`` flags remain for local use.
+
+``--suite pr8`` benchmarks the cluster-scale DMS work: four concurrent
+commands over shared propfan timesteps at 8/16/32/64 nodes, cluster
+dedup + contention-aware selection against the per-proxy baseline
+(floor: >= 2x on total load seconds at 32 nodes); a strategy-crossover
+regime table where each of the four loading strategies (fileserver,
+node-transfer, collective, direct-disk) wins at least once; the
+compression break-even matrix (the 2004 codecs reject compression on
+every testbed link, ZSTD-class rates flip the call on the unchanged
+60 MB/s fileserver) plus a live decision count; and a golden-trace leg
+pinning that fingerprints stay byte-identical with the new features
+disabled.  All pr8 metrics except wall-clock are *simulated* seconds,
+so the floors are machine-independent.  ``--json BENCH_PR8.json``
+emits the report; ``--check`` enforces floors and invariants.
 """
 
 from __future__ import annotations
@@ -315,6 +329,313 @@ def main_pr5(args) -> int:
     return 0
 
 
+# --------------------------------------------------------------- PR 8
+PR8_SCALES = (8, 16, 32, 64)
+PR8_CONCURRENT = 4  #: simultaneous commands on shared timesteps
+PR8_TIMESTEPS = 2
+PR8_FLOORS = {"dedup_load_seconds_32": 2.0}
+#: fault-free golden fingerprint for iso-dataman on the chaos-session
+#: shape (pinned in tests/faults/test_golden_pins.py): the bench
+#: re-derives it with cluster dedup / compression explicitly disabled
+#: to prove the new DMS features are byte-exact no-ops when off.
+PR8_GOLDEN_ISO = (
+    "c090e622e1bb1b96180590c636d8f36d83b521110179418ded458bb8e4521c90"
+)
+PR8_GOLDEN_PARAMS = {
+    "isovalue": -0.3, "scalar": "pressure", "time_range": (0, 2),
+}
+
+
+def _pr8_workload(n_nodes: int, dms_config) -> dict:
+    """Four concurrent iso commands over shared propfan timesteps."""
+    from repro.bench.calibration import paper_cluster, paper_costs
+    from repro.core.session import ViracochaSession
+    from repro.synth import build_propfan
+
+    dataset = build_propfan(base_resolution=4, n_timesteps=PR8_TIMESTEPS)
+    session = ViracochaSession(
+        dataset,
+        n_workers=n_nodes,
+        cluster_config=paper_cluster(n_nodes),
+        costs=paper_costs(),
+        dms_config=dms_config,
+    )
+    group = max(1, n_nodes // PR8_CONCURRENT)
+    requests = [
+        {
+            "command": "iso-dataman",
+            "params": {
+                "isovalue": -0.3, "scalar": "pressure",
+                "time_range": (0, PR8_TIMESTEPS),
+            },
+            "group_size": group,
+            "tenant": f"tenant-{i}",
+        }
+        for i in range(PR8_CONCURRENT)
+    ]
+    start = time.perf_counter()
+    results = session.run_concurrent(requests)
+    wall = time.perf_counter() - start
+    agg = session.scheduler.aggregate_dms_stats()
+    server = session.scheduler.server
+    return {
+        "wall_seconds": wall,
+        "sim_runtime_seconds": max(r.total_runtime for r in results),
+        "load_seconds": sum(agg.load_seconds_by_strategy.values()),
+        "load_seconds_by_strategy": {
+            k: round(v, 3) for k, v in sorted(agg.load_seconds_by_strategy.items())
+        },
+        "loads_by_strategy": dict(sorted(agg.loads_by_strategy.items())),
+        "fileserver_transfers": session.cluster.fileserver.stats.transfers,
+        "dedup_followers": server.dedup_followers,
+        "dedup_bytes_saved": server.dedup_bytes_saved,
+        "compression_decisions": dict(sorted(agg.compression_decisions.items())),
+    }
+
+
+def bench_pr8_scale() -> dict:
+    """Per-proxy baseline vs cluster dedup at every scale.
+
+    The ``replica`` cell additionally grants every node a local dataset
+    copy (``DMSConfig.local_replica``), letting direct-disk compete
+    live rather than only in the fitness table.
+    """
+    from repro.dms import DMSConfig
+
+    out = {}
+    for n in PR8_SCALES:
+        baseline = _pr8_workload(n, DMSConfig())
+        dedup = _pr8_workload(
+            n, DMSConfig(cluster_dedup=True, contention_aware=True)
+        )
+        replica = _pr8_workload(
+            n,
+            DMSConfig(
+                cluster_dedup=True, contention_aware=True, local_replica=True
+            ),
+        )
+        out[str(n)] = {
+            "baseline": baseline,
+            "dedup": dedup,
+            "dedup_replica": replica,
+            "speedup_load_seconds": (
+                baseline["load_seconds"] / max(dedup["load_seconds"], 1e-12)
+            ),
+            "speedup_sim_runtime": (
+                baseline["sim_runtime_seconds"]
+                / max(dedup["sim_runtime_seconds"], 1e-12)
+            ),
+        }
+    return out
+
+
+def bench_pr8_regimes() -> dict:
+    """Four bandwidth/contention regimes, one per strategy crossover.
+
+    Deterministic fitness-model evaluation (no simulation): each named
+    regime is a :class:`~repro.dms.LoadContext` under which a different
+    loading strategy wins the adaptive selection — the table
+    docs/PERFORMANCE.md reproduces.
+    """
+    from repro.dms import AdaptiveSelector, LoadContext
+
+    MB = 1024 * 1024
+    nbytes = 2_766_493  # one modeled propfan block (19.5 GB / 50 / 144)
+    base = dict(
+        key="bench", nbytes=nbytes, requester=0,
+        fileserver_bandwidth=60.0 * MB, fileserver_latency=5e-3,
+        fabric_bandwidth=800.0 * MB, fabric_latency=30e-6,
+        local_disk_bandwidth=40.0 * MB, local_disk_latency=8e-3,
+    )
+    regimes = {
+        # Warm cluster but the fabric is saturated with other tenants'
+        # transfers: the healthy shared fileserver beats both the
+        # jammed fabric and the slower private disk.
+        "jammed-fabric": LoadContext(
+            **base, holders=frozenset({3}), local_replica=True,
+            fabric_busy=64, fabric_streams=4,
+        ),
+        # A peer already caches the block and the fabric is idle: the
+        # greedy cooperative cache wins outright.
+        "warm-peer": LoadContext(**base, holders=frozenset({3})),
+        # Cold stampede: many nodes want the same cold block while the
+        # fileserver queue builds — one shared read plus a broadcast
+        # beats independent queued reads.
+        "cold-stampede": LoadContext(
+            **base, concurrent_requesters=16, fileserver_queue=12,
+        ),
+        # Degraded/WAN fileserver with a local dataset replica: the
+        # private scratch disk needs no shared link at all.
+        "degraded-fileserver": LoadContext(
+            **base, local_replica=True, fileserver_queue=8,
+        ),
+    }
+    table = {}
+    for name, ctx in regimes.items():
+        selector = AdaptiveSelector()
+        winner = selector.select(ctx)
+        table[name] = {
+            "winner": winner.name,
+            "fitness": {
+                k: round(v, 1) for k, v in sorted(selector.last_fitness.items())
+            },
+        }
+    return table
+
+
+def bench_pr8_compression() -> dict:
+    """Break-even matrix plus a live decision count.
+
+    The model table needs no simulation; the live cell runs one iso
+    command with ZSTD wired in and reports the per-transfer decisions
+    the proxies actually made (compressed cold reads off the 60 MB/s
+    fileserver, raw node-transfers on the 800 MB/s fabric).
+    """
+    from repro.dms import DMSConfig, GZIP_2004, LZO_2004, ZSTD_2020
+    from repro.faults import chaos_session
+
+    MB = 1024 * 1024
+    nbytes = 2_766_493  # one modeled propfan block
+    links = {
+        "fileserver": (60.0 * MB, 5e-3),
+        "fabric": (800.0 * MB, 30e-6),
+    }
+    matrix = {}
+    for codec in (GZIP_2004, LZO_2004, ZSTD_2020):
+        matrix[codec.name] = {
+            "breakeven_mb_per_s": round(codec.breakeven_bandwidth() / 1e6, 1),
+            "decisions": {
+                link: (
+                    "compress"
+                    if codec.worthwhile(nbytes, bandwidth, latency)
+                    else "raw"
+                )
+                for link, (bandwidth, latency) in links.items()
+            },
+        }
+    # Two concurrent half-size groups over the same timesteps, so the
+    # run mixes cold fileserver reads (compressed) with cross-group
+    # fabric transfers (raw) — both decision branches fire.
+    session = chaos_session(dms_config=DMSConfig(compression=ZSTD_2020))
+    session.run_concurrent([
+        {
+            "command": "iso-dataman",
+            "params": dict(PR8_GOLDEN_PARAMS),
+            "group_size": 2,
+            "tenant": f"tenant-{i}",
+        }
+        for i in range(2)
+    ])
+    agg = session.scheduler.aggregate_dms_stats()
+    return {
+        "model": matrix,
+        "live_zstd_decisions": dict(sorted(agg.compression_decisions.items())),
+        "live_zstd_wire_bytes_saved": agg.compression_bytes_saved,
+        "live_zstd_codec_seconds": round(agg.compression_seconds, 4),
+    }
+
+
+def bench_pr8_golden() -> dict:
+    """Fingerprint the fault-free iso run with the new knobs disabled."""
+    from repro.dms import DMSConfig
+    from repro.faults import chaos_session
+    from repro.faults.chaos import trace_fingerprint
+
+    session = chaos_session(
+        dms_config=DMSConfig(
+            cluster_dedup=False, compression=None, contention_aware=False
+        )
+    )
+    result = session.run("iso-dataman", params=dict(PR8_GOLDEN_PARAMS))
+    fingerprint = trace_fingerprint(result)
+    return {
+        "fingerprint": fingerprint,
+        "pinned": PR8_GOLDEN_ISO,
+        "matches_pin": fingerprint == PR8_GOLDEN_ISO,
+    }
+
+
+def measure_pr8() -> dict:
+    return {
+        "scale": bench_pr8_scale(),
+        "regimes": bench_pr8_regimes(),
+        "compression": bench_pr8_compression(),
+        "golden": bench_pr8_golden(),
+    }
+
+
+def pr8_invariants(current: dict) -> dict:
+    """The pass/fail ledger ``--check`` enforces (all simulated-time
+    or model-level facts, so they hold on any machine)."""
+    regimes = current["regimes"]
+    winners = {cell["winner"] for cell in regimes.values()}
+    zstd = current["compression"]["model"]["zstd"]["decisions"]
+    gzip_cells = current["compression"]["model"]["gzip"]["decisions"]
+    live = current["compression"]["live_zstd_decisions"]
+    at32 = current["scale"]["32"]
+    return {
+        "dedup_load_seconds_32": (
+            at32["speedup_load_seconds"] >= PR8_FLOORS["dedup_load_seconds_32"]
+        ),
+        "every_strategy_wins_a_regime": winners == {
+            "fileserver", "node-transfer", "collective", "direct-disk"
+        },
+        "zstd_flips_on_fileserver_only": (
+            zstd == {"fileserver": "compress", "fabric": "raw"}
+        ),
+        "gzip_raw_everywhere": (
+            gzip_cells == {"fileserver": "raw", "fabric": "raw"}
+        ),
+        "live_decisions_split": (
+            live.get("compress", 0) > 0 and live.get("raw", 0) > 0
+        ),
+        "golden_fingerprint_matches": current["golden"]["matches_pin"],
+    }
+
+
+def main_pr8(args) -> int:
+    current = measure_pr8()
+    invariants = pr8_invariants(current)
+    report = {
+        "suite": "pr8",
+        "machine": platform.platform(),
+        "python": platform.python_version(),
+        "scales": list(PR8_SCALES),
+        "concurrent_commands": PR8_CONCURRENT,
+        "current": current,
+        "floors": PR8_FLOORS,
+        "invariants": invariants,
+        "meets_floors": all(invariants.values()),
+    }
+    for n in PR8_SCALES:
+        cell = current["scale"][str(n)]
+        print(
+            f"pr8 scale {n:>2d}: baseline load "
+            f"{cell['baseline']['load_seconds']:.0f}s(sim) "
+            f"dedup {cell['dedup']['load_seconds']:.0f}s(sim) "
+            f"-> {cell['speedup_load_seconds']:.2f}x load, "
+            f"{cell['speedup_sim_runtime']:.2f}x runtime"
+        )
+    for name, cell in current["regimes"].items():
+        print(f"pr8 regime {name:<20s} -> {cell['winner']}")
+    live = current["compression"]["live_zstd_decisions"]
+    print(
+        f"pr8 compression: zstd live decisions {live}, "
+        f"golden match {current['golden']['matches_pin']}"
+    )
+    for name, ok in invariants.items():
+        if not ok:
+            print(f"pr8 invariant FAILED: {name}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.json}")
+    if args.check and not report["meets_floors"]:
+        print("FAIL: PR-8 floors/invariants not met", file=sys.stderr)
+        return 1
+    return 0
+
+
 def speedups(current: dict) -> dict:
     out = {}
     for key, base in BASELINE.items():
@@ -336,14 +657,17 @@ def main(argv=None) -> int:
         help="print a BASELINE dict for re-basing on new hardware",
     )
     parser.add_argument(
-        "--suite", choices=("pr4", "pr5"), default="pr4",
+        "--suite", choices=("pr4", "pr5", "pr8"), default="pr4",
         help="pr4: engine throughput vs pinned baseline; "
-        "pr5: multicore extraction vs the legacy serial path",
+        "pr5: multicore extraction vs the legacy serial path; "
+        "pr8: cluster-scale DMS (dedup, compression, strategy crossover)",
     )
     args = parser.parse_args(argv)
 
     if args.suite == "pr5":
         return main_pr5(args)
+    if args.suite == "pr8":
+        return main_pr8(args)
     current = measure()
     if args.update_baseline:
         print("BASELINE =", json.dumps(current, indent=4))

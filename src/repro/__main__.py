@@ -470,6 +470,30 @@ def _stats_main(args: list[str]) -> int:
         extra = ", ".join(f"{k}={v}" for k, v in desc.items() if k != "name")
         print(f"  worker {worker.worker_id} prefetcher: {desc['name']}"
               + (f" ({extra})" if extra else ""))
+    selector = session.scheduler.server.selector
+    decisions = ", ".join(
+        f"{name}={count}" for name, count in sorted(selector.decisions.items())
+    )
+    print(f"strategy decisions: {decisions}")
+    if selector.last_fitness:
+        scores = ", ".join(
+            f"{name}={score:.3e}"
+            for name, score in sorted(selector.last_fitness.items())
+        )
+        print(f"last fitness:      {scores}")
+    server = session.scheduler.server
+    if server.dedup_followers:
+        print(f"cluster dedup:     {server.dedup_followers} follower(s) on "
+              f"{server.dedup_flights} flight(s), "
+              f"{server.dedup_bytes_saved} bytes saved")
+    if agg.compression_decisions:
+        calls = ", ".join(
+            f"{decision}={count}"
+            for decision, count in sorted(agg.compression_decisions.items())
+        )
+        print(f"wire compression:  {calls}; "
+              f"{agg.compression_bytes_saved} wire bytes saved, "
+              f"{agg.compression_seconds:.3f}s codec time")
     print()
     print(session.metrics.format_table())
     return 0

@@ -256,6 +256,11 @@ class Scheduler:
         yield from sched_node.compute(self.costs.command_setup)
         worker_ids = yield from self.acquire_group(group_size)
         record.queue_wait_s = self.env.now - record.t_start
+        # Tag the group's proxies with the command's tenant while the
+        # group is held (groups are exclusive, so the tag is unambiguous);
+        # the DMS uses it to label cluster-dedup flights per tenant.
+        for wid in worker_ids:
+            self.workers[wid].proxy.current_tenant = tenant
         if self.trace is not None:
             self.trace.record(
                 self.env.now, 0, "command-start",
@@ -281,6 +286,8 @@ class Scheduler:
         finally:
             if cspan is not None:
                 self.tracer.end(cspan)
+            for wid in worker_ids:
+                self.workers[wid].proxy.current_tenant = "default"
             self.release_group(worker_ids)
         return record
 

@@ -14,16 +14,18 @@ from .prefetch import (
     SequenceOrder,
     make_prefetcher,
 )
+from .compression import CompressionModel, GZIP_2004, LZO_2004, ZSTD_2020
 from .loading import (
     AdaptiveSelector,
     CollectiveLoad,
     FileServerLoad,
     LoadContext,
     LoadingStrategy,
+    LocalDiskLoad,
     NodeTransferLoad,
 )
 from .stats import DMSStatistics
-from .server import DataManagerServer
+from .server import DataManagerServer, InflightLoad
 from .source import BlockSource, StoreSource, SyntheticSource
 from .proxy import DataProxy, DMSConfig
 
@@ -50,12 +52,18 @@ __all__ = [
     "make_prefetcher",
     "AdaptiveSelector",
     "CollectiveLoad",
+    "CompressionModel",
+    "GZIP_2004",
+    "LZO_2004",
+    "ZSTD_2020",
     "FileServerLoad",
     "LoadContext",
     "LoadingStrategy",
+    "LocalDiskLoad",
     "NodeTransferLoad",
     "DMSStatistics",
     "DataManagerServer",
+    "InflightLoad",
     "BlockSource",
     "StoreSource",
     "SyntheticSource",

@@ -25,6 +25,7 @@ __all__ = [
     "FileServerLoad",
     "NodeTransferLoad",
     "CollectiveLoad",
+    "LocalDiskLoad",
     "AdaptiveSelector",
 ]
 
@@ -52,6 +53,32 @@ class LoadContext:
     fabric_bandwidth: float = 1.0  #: effective (degraded) bytes/s
     fabric_latency: float = 0.0
     fileserver_reliability: float = 1.0  #: 0..1; degraded on observed failures
+    # Live utilization (contention-aware fitness).  ``*_busy`` counts
+    # transfers currently *holding* a stream, ``*_streams`` is the
+    # link's parallel-stream capacity.  The defaults (0 busy across 1
+    # stream) make the pressure term collapse to the plain queue depth,
+    # so fitness scores are bit-identical to the pre-contention model
+    # unless a proxy populates the live values
+    # (``DMSConfig.contention_aware``).
+    fileserver_busy: int = 0
+    fileserver_streams: int = 1
+    fabric_busy: int = 0
+    fabric_streams: int = 1
+    #: the dataset is replicated on the requester's scratch disk, so the
+    #: paper's "hard disk" direct-load strategy is a real candidate.
+    local_replica: bool = False
+    local_disk_bandwidth: float = 0.0  #: effective (degraded) bytes/s
+    local_disk_latency: float = 0.0
+
+    @property
+    def fileserver_pressure(self) -> float:
+        """Occupied-plus-queued transfers per fileserver stream."""
+        return (self.fileserver_busy + self.fileserver_queue) / self.fileserver_streams
+
+    @property
+    def fabric_pressure(self) -> float:
+        """Occupied-plus-queued transfers per fabric stream."""
+        return (self.fabric_busy + self.fabric_queue) / self.fabric_streams
 
 
 class LoadingStrategy:
@@ -76,9 +103,11 @@ class FileServerLoad(LoadingStrategy):
         return True
 
     def fitness(self, ctx: LoadContext) -> float:
-        # Queued transfers share the server; latency converts to an
-        # equivalent bandwidth loss for this transfer size.
-        eff = ctx.fileserver_bandwidth / (1.0 + ctx.fileserver_queue)
+        # Busy and queued transfers share the server's streams; latency
+        # converts to an equivalent bandwidth loss for this transfer
+        # size.  With the default (no live-utilization) context the
+        # pressure term is exactly the queue depth.
+        eff = ctx.fileserver_bandwidth / (1.0 + ctx.fileserver_pressure)
         t = ctx.fileserver_latency + ctx.nbytes / max(eff, 1e-9)
         return ctx.fileserver_reliability * ctx.nbytes / max(t, 1e-12)
 
@@ -97,7 +126,7 @@ class NodeTransferLoad(LoadingStrategy):
         return bool(ctx.holders - {ctx.requester})
 
     def fitness(self, ctx: LoadContext) -> float:
-        eff = ctx.fabric_bandwidth / (1.0 + ctx.fabric_queue)
+        eff = ctx.fabric_bandwidth / (1.0 + ctx.fabric_pressure)
         t = ctx.fabric_latency + ctx.nbytes / max(eff, 1e-9)
         return ctx.nbytes / max(t, 1e-12)
 
@@ -127,13 +156,40 @@ class CollectiveLoad(LoadingStrategy):
     def fitness(self, ctx: LoadContext) -> float:
         k = ctx.concurrent_requesters
         read = ctx.fileserver_latency + ctx.nbytes / max(
-            ctx.fileserver_bandwidth / (1.0 + ctx.fileserver_queue), 1e-9
+            ctx.fileserver_bandwidth / (1.0 + ctx.fileserver_pressure), 1e-9
         )
+        # The broadcast is a one-shot push on the fabric; queue depth is
+        # deliberately *not* folded in here (a broadcast rides the next
+        # free stream), keeping the term identical to the original model.
         bcast = ctx.fabric_latency + ctx.nbytes / max(ctx.fabric_bandwidth, 1e-9)
         # Per-requester effective time: one shared read, one broadcast,
         # plus coordination, versus k independent reads without it.
         t = (read / k) + bcast + self.coordination_overhead
         return ctx.fileserver_reliability * ctx.nbytes / max(t, 1e-12)
+
+
+class LocalDiskLoad(LoadingStrategy):
+    """Direct read from a node-local dataset replica.
+
+    §4.3 names "loading data directly from hard disc" as the first of
+    the strategy set; it only makes sense when the dataset (or the
+    requested timestep) is actually resident on the node's scratch disk
+    — ``DMSConfig.local_replica`` asserts exactly that.  Its fitness
+    needs no shared-resource pressure term: the scratch disk is private
+    to the requester, which is precisely why it wins whenever the
+    shared fileserver is remote, congested, or degraded.
+    """
+
+    name = "direct-disk"
+
+    def available(self, ctx: LoadContext) -> bool:
+        return ctx.local_replica and ctx.local_disk_bandwidth > 0.0
+
+    def fitness(self, ctx: LoadContext) -> float:
+        t = ctx.local_disk_latency + ctx.nbytes / max(
+            ctx.local_disk_bandwidth, 1e-9
+        )
+        return ctx.nbytes / max(t, 1e-12)
 
 
 class AdaptiveSelector:
@@ -149,10 +205,18 @@ class AdaptiveSelector:
         strategies: Sequence[LoadingStrategy] | None = None,
         adaptive: bool = True,
     ):
+        # FileServerLoad must stay first: ``adaptive=False`` pins
+        # ``strategies[0]`` as the ablation baseline.  LocalDiskLoad is
+        # inert unless a context carries ``local_replica=True``.
         self.strategies = (
             list(strategies)
             if strategies is not None
-            else [FileServerLoad(), NodeTransferLoad(), CollectiveLoad()]
+            else [
+                FileServerLoad(),
+                NodeTransferLoad(),
+                CollectiveLoad(),
+                LocalDiskLoad(),
+            ]
         )
         if not self.strategies:
             raise ValueError("need at least one loading strategy")

@@ -26,6 +26,7 @@ from ..des.kernel import Environment, Event
 from ..des.network import TransferToken
 from ..grids.block import StructuredBlock
 from .cache import CacheTier, TwoTierCache
+from .compression import CompressionModel
 from .items import ItemName, NameResolver
 from .loading import LoadContext, NodeTransferLoad
 from .prefetch import NoPrefetcher, Prefetcher
@@ -53,6 +54,25 @@ class DMSConfig:
     #: definition one-block-lookahead, so speculative reads must not
     #: stampede the fileserver ahead of demand misses.
     max_inflight_prefetches: int = 4
+    #: cluster-wide single flight: concurrent commands/tenants hitting
+    #: the same item dedupe to one physical load, with followers
+    #: attaching to the winner's transfer and pulling the block over
+    #: the fabric afterwards.  Off by default — the paper's per-proxy
+    #: behavior, and the configuration the golden fingerprints pin.
+    cluster_dedup: bool = False
+    #: wire codec for fileserver/fabric transfer paths; ``None``
+    #: reproduces the paper's call of shipping raw bytes.  With a codec
+    #: set, every transfer makes a compress-vs-raw decision against the
+    #: link's current effective bandwidth (see
+    #: :meth:`DataProxy._wire_transfer`).
+    compression: CompressionModel | None = None
+    #: feed live link utilization (busy streams + queue depth per
+    #: stream) into the strategy fitness functions instead of the bare
+    #: queue length.  Off by default for fingerprint stability.
+    contention_aware: bool = False
+    #: the dataset is replicated on every node's scratch disk, enabling
+    #: the paper's direct-from-hard-disk loading strategy.
+    local_replica: bool = False
 
 
 class DataProxy:
@@ -91,6 +111,10 @@ class DataProxy:
         self._inflight: dict[int, Event] = {}
         self._inflight_tokens: dict[int, "TransferToken"] = {}
         self._inflight_prefetches = 0
+        #: tenant whose command this proxy's worker is currently
+        #: serving; the scheduler sets it while the work group is held
+        #: (groups are exclusive, so one value per proxy suffices).
+        self.current_tenant = "default"
 
     # ---------------------------------------------------------- helpers
     def holds(self, item: ItemName) -> str | None:
@@ -112,6 +136,21 @@ class DataProxy:
         # the selector can route around a slow fileserver (§4.3's
         # "react on environment changes").
         cfg = self.cluster.config
+        extra = {}
+        if self.config.contention_aware:
+            # Live utilization: transfers holding a stream right now,
+            # and how many streams each link actually has.  The default
+            # context (0 busy / 1 stream) reduces the pressure term to
+            # the bare queue depth, so turning this on is the only way
+            # fitness scores can differ from the original model.
+            fs_wire = self.cluster.fileserver._wire
+            fab_wire = self.cluster.fabric._wire
+            extra = dict(
+                fileserver_busy=fs_wire.count,
+                fileserver_streams=fs_wire.capacity,
+                fabric_busy=fab_wire.count,
+                fabric_streams=fab_wire.capacity,
+            )
         return LoadContext(
             key=ident,
             nbytes=nbytes,
@@ -125,7 +164,91 @@ class DataProxy:
             fabric_bandwidth=self.cluster.fabric.effective_bandwidth,
             fabric_latency=cfg.fabric_latency,
             fileserver_reliability=self.server.fileserver_reliability,
+            local_replica=self.config.local_replica,
+            local_disk_bandwidth=self.node.local_disk.effective_bandwidth,
+            local_disk_latency=cfg.local_disk_latency,
+            **extra,
         )
+
+    # ------------------------------------------------------------- wire
+    def _wire_transfer(
+        self,
+        link_name: str,
+        nbytes: int,
+        priority: int = 0,
+        token: "TransferToken | None" = None,
+        parent_span=None,
+    ) -> Generator[Event, None, None]:
+        """Process body: move ``nbytes`` to this node over one link.
+
+        ``link_name`` is ``"fileserver"`` or ``"fabric"``.  With a
+        codec configured (``DMSConfig.compression``) each transfer
+        makes a cost-aware compress-vs-raw call against the link's
+        *current* effective bandwidth — nominal rate, fault
+        degradation, and stream pressure all included — so the same
+        codec ships raw on an idle shared-memory fabric (the paper's
+        2004 judgement) and compressed over a congested or WAN-grade
+        fileserver link.  Codec seconds run on this node's CPU (the
+        model gives neither the fileserver nor a donor node a CPU of
+        its own) inside ``decompress``-kind spans, which the
+        critical-path taxonomy charges to the ``decompress`` phase.
+        """
+        codec = self.config.compression
+        link = (
+            self.cluster.fileserver
+            if link_name == "fileserver"
+            else self.cluster.fabric
+        )
+        if codec is not None:
+            wire = link._wire
+            pressure = (wire.count + wire.queue_len) / wire.capacity
+            eff = link.effective_bandwidth / (1.0 + pressure)
+            if codec.worthwhile(nbytes, eff, link.latency):
+                compress_s = nbytes / codec.compress_rate
+                decompress_s = nbytes / codec.decompress_rate
+                wire_bytes = max(1, int(nbytes * codec.ratio))
+                rate = self.node.config.cpu_rate
+                cspan = None
+                if self.tracer is not None:
+                    cspan = self.tracer.begin(
+                        "decompress", name=f"{codec.name}-compress",
+                        node=self.node.node_id, parent=parent_span,
+                        nbytes=nbytes, link=link_name,
+                    )
+                yield from self.node.compute(compress_s * rate)
+                if cspan is not None:
+                    self.tracer.end(cspan)
+                if link_name == "fileserver":
+                    yield from self.cluster.read_fileserver(
+                        self.node, wire_bytes, priority=priority, token=token
+                    )
+                else:
+                    yield from self.cluster.fabric_transfer(
+                        self.node, wire_bytes, account="read"
+                    )
+                dspan = None
+                if self.tracer is not None:
+                    dspan = self.tracer.begin(
+                        "decompress", name=f"{codec.name}-decompress",
+                        node=self.node.node_id, parent=parent_span,
+                        nbytes=nbytes, link=link_name,
+                    )
+                yield from self.node.compute(decompress_s * rate)
+                if dspan is not None:
+                    self.tracer.end(dspan)
+                self.stats.record_compression(
+                    "compress", nbytes, wire_bytes, compress_s + decompress_s
+                )
+                return
+            self.stats.record_compression("raw", nbytes, nbytes, 0.0)
+        if link_name == "fileserver":
+            yield from self.cluster.read_fileserver(
+                self.node, nbytes, priority=priority, token=token
+            )
+        else:
+            yield from self.cluster.fabric_transfer(
+                self.node, nbytes, account="read"
+            )
 
     # ------------------------------------------------------------- load
     def _forced_load(
@@ -141,6 +264,8 @@ class DataProxy:
         self.server.note_request_start(ident)
         span = None
         strategy_name: str | None = None
+        span_attrs: dict = {}
+        flight = None
         if self.tracer is not None:
             span = self.tracer.begin(
                 "dms-strategy-load", name=str(item), node=self.node.node_id,
@@ -160,28 +285,78 @@ class DataProxy:
                 yield from self.cluster.fabric_transfer(
                     self.node, _QUERY_BYTES, account="other"
                 )
+            if self.config.cluster_dedup:
+                # Cluster-wide single flight: if another node is already
+                # loading this item, attach to its flight instead of
+                # issuing a second physical load; on wake-up, pull the
+                # block from the winner's cache over the fabric.  A
+                # failed winner (crash mid-load) leaves no holder, and
+                # the follower loops back to contend for the flight
+                # itself — nothing ever hangs on a dead flight.
+                while True:
+                    entry = self.server.flight_entry(ident)
+                    if entry is None:
+                        flight = self.server.flight_begin(
+                            ident, self.node.node_id, self.env.event(),
+                            tenant=self.current_tenant, nbytes=nbytes,
+                        )
+                        break
+                    if entry.node == self.node.node_id:
+                        # This node already owns the flight (re-load
+                        # after a mid-wait eviction): just load again.
+                        break
+                    self.server.flight_attach(entry, tenant=self.current_tenant)
+                    self.stats.record_dedup_follow(nbytes)
+                    span_attrs["dedup"] = "follow"
+                    span_attrs["winner"] = entry.node
+                    yield entry.event
+                    if self.server.holders(ident) - {self.node.node_id}:
+                        yield from self._wire_transfer(
+                            "fabric", nbytes, parent_span=span
+                        )
+                        strategy_name = "dedup-follow"
+                        self.stats.record_load(
+                            strategy_name, nbytes, self.env.now - t_load
+                        )
+                        if self.trace is not None:
+                            self.trace.record(
+                                self.env.now, self.node.node_id, "load",
+                                item=str(item), strategy=strategy_name,
+                                nbytes=nbytes, demand=demand,
+                            )
+                        payload = self.source.get(item)
+                        spilled = self._admit(ident, payload, nbytes)
+                        if self.cache.l2 is not None:
+                            for _key, _p, spill_bytes in spilled:
+                                yield from self.node.write_local(spill_bytes)
+                        return payload
             strategy = self.server.choose_strategy(
                 self._build_context(ident, nbytes)
             )
             strategy_name = strategy.name
             priority = 0 if demand else 1  # prefetch I/O yields to demand
             if isinstance(strategy, NodeTransferLoad):
-                yield from self.cluster.fabric_transfer(
-                    self.node, nbytes, account="read"
+                yield from self._wire_transfer(
+                    "fabric", nbytes, parent_span=span
                 )
             elif strategy.name == "collective":
                 k = self.server.concurrent_requesters(ident)
                 # One shared fileserver read, then a fabric broadcast;
                 # the shared read's cost is split across participants.
-                yield from self.cluster.read_fileserver(
-                    self.node, nbytes // max(k, 1), priority=priority
+                yield from self._wire_transfer(
+                    "fileserver", nbytes // max(k, 1), priority=priority,
+                    parent_span=span,
                 )
-                yield from self.cluster.fabric_transfer(
-                    self.node, nbytes, account="read"
+                yield from self._wire_transfer(
+                    "fabric", nbytes, parent_span=span
                 )
+            elif strategy.name == "direct-disk":
+                # The dataset replica on this node's scratch disk.
+                yield from self.node.read_local(nbytes)
             else:
-                yield from self.cluster.read_fileserver(
-                    self.node, nbytes, priority=priority, token=token
+                yield from self._wire_transfer(
+                    "fileserver", nbytes, priority=priority, token=token,
+                    parent_span=span,
                 )
             self.stats.record_load(strategy.name, nbytes, self.env.now - t_load)
             if self.trace is not None:
@@ -202,9 +377,14 @@ class DataProxy:
                     yield from self.node.write_local(spill_bytes)
             return payload
         finally:
+            if flight is not None:
+                self.server.flight_end(flight)
+                if flight.followers:
+                    span_attrs["dedup_followers"] = flight.followers
             if span is not None:
-                extra = {"strategy": strategy_name} if strategy_name else {}
-                self.tracer.end(span, **extra)
+                if strategy_name:
+                    span_attrs["strategy"] = strategy_name
+                self.tracer.end(span, **span_attrs)
             self.server.note_request_end(ident)
 
     # ---------------------------------------------------------- request

@@ -13,14 +13,36 @@ greedy cooperative cache) possible.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
 from typing import Hashable
 
 from .items import ItemName, NameService
 from .loading import AdaptiveSelector, LoadContext
 from .stats import DMSStatistics
 
-__all__ = ["DataManagerServer"]
+__all__ = ["DataManagerServer", "InflightLoad"]
+
+
+@dataclass
+class InflightLoad:
+    """One physical load registered in the cluster-wide flight table.
+
+    The *winner* node performs the actual transfer; any other node that
+    asks the server about the same item while the flight is open
+    becomes a *follower*: it waits on ``event`` and then pulls the
+    block from the winner's cache over the fabric instead of issuing a
+    second physical load.
+    """
+
+    ident: int
+    node: int  #: winner node id
+    event: object  #: DES event; succeeds when the flight closes
+    tenant: str = "default"
+    nbytes: int = 0
+    followers: int = 0
+    #: tenants that attached as followers (cross-tenant sharing proof).
+    follower_tenants: Counter = field(default_factory=Counter)
 
 
 class DataManagerServer:
@@ -44,6 +66,18 @@ class DataManagerServer:
         #: rather than as lost requests.
         self.stalled_until = 0.0
         self.stall_waits = 0
+        #: cluster-wide single-flight table (``DMSConfig.cluster_dedup``):
+        #: ident -> the one physical load currently in the air.
+        self._flights: dict[int, InflightLoad] = {}
+        #: flights that served at least one follower.
+        self.dedup_flights = 0
+        #: follower attaches across the whole session.
+        self.dedup_followers = 0
+        #: fileserver bytes followers did not re-read.
+        self.dedup_bytes_saved = 0
+        #: follower attaches by (winner tenant, follower tenant) — the
+        #: cross-tenant sharing ledger for the serving layer.
+        self.dedup_followers_by_tenant: Counter = Counter()
 
     # ---------------------------------------------------- health signals
     def report_fileserver_failure(self) -> None:
@@ -80,6 +114,50 @@ class DataManagerServer:
 
     def holders(self, ident: int) -> frozenset[int]:
         return frozenset(self._holders.get(ident, ()))
+
+    # ------------------------------------------------ cluster-wide flights
+    def flight_entry(self, ident: int) -> InflightLoad | None:
+        """The open flight for ``ident``, if any."""
+        return self._flights.get(ident)
+
+    def flight_begin(
+        self, ident: int, node: int, event, tenant: str = "default",
+        nbytes: int = 0,
+    ) -> InflightLoad:
+        """Register ``node`` as the winner of the physical load."""
+        if ident in self._flights:
+            raise RuntimeError(
+                f"flight for {ident} already open (winner "
+                f"{self._flights[ident].node}); check flight_entry first"
+            )
+        flight = InflightLoad(
+            ident=ident, node=node, event=event, tenant=tenant, nbytes=nbytes
+        )
+        self._flights[ident] = flight
+        return flight
+
+    def flight_attach(self, flight: InflightLoad, tenant: str = "default") -> None:
+        """Count one follower on an open flight."""
+        flight.followers += 1
+        flight.follower_tenants[tenant] += 1
+        self.dedup_followers += 1
+        self.dedup_bytes_saved += flight.nbytes
+        self.dedup_followers_by_tenant[(flight.tenant, tenant)] += 1
+
+    def flight_end(self, flight: InflightLoad) -> None:
+        """Close a flight and wake every follower.
+
+        Always called (win or crash) from the winner's ``finally``:
+        followers must never hang on a dead flight.  They re-check the
+        holder table on wake-up, so a failed winner just sends them
+        back through the strategy machinery.
+        """
+        if self._flights.get(flight.ident) is flight:
+            del self._flights[flight.ident]
+            if flight.followers:
+                self.dedup_flights += 1
+        if not flight.event.triggered:
+            flight.event.succeed()
 
     # ---------------------------------------------- concurrent requests
     def note_request_start(self, ident: int) -> None:
@@ -124,3 +202,29 @@ class DataManagerServer:
                 {"strategy": strategy},
                 help="adaptive selector decisions by strategy",
             ).set(count)
+        # Dedup series appear only once cluster-wide single flight has
+        # actually deduped something, keeping default runs' metric
+        # tables unchanged.
+        if self.dedup_followers:
+            registry.counter(
+                "viracocha_dms_dedup_flights_total",
+                help="physical loads that served at least one follower",
+            ).set(self.dedup_flights)
+            registry.counter(
+                "viracocha_dms_dedup_followers_total",
+                help="forced loads deduped onto another node's flight",
+            ).set(self.dedup_followers)
+            registry.counter(
+                "viracocha_dms_dedup_bytes_saved_total",
+                help="fileserver bytes saved by cluster-wide single flight",
+            ).set(self.dedup_bytes_saved)
+            for (winner, follower), count in sorted(
+                self.dedup_followers_by_tenant.items()
+            ):
+                if winner == "default" and follower == "default":
+                    continue
+                registry.counter(
+                    "viracocha_dms_dedup_followers_total",
+                    {"winner_tenant": winner, "follower_tenant": follower},
+                    help="forced loads deduped onto another node's flight",
+                ).set(count)

@@ -48,6 +48,17 @@ class DMSStatistics:
     prefetches_dropped: int = 0
     #: demand misses that at least overlapped an in-flight prefetch.
     misses_covered: int = 0
+    #: forced loads that attached to another node's in-flight load
+    #: instead of issuing their own (cluster-wide single flight).
+    dedup_follows: int = 0
+    #: fileserver bytes those followers did not have to re-read.
+    dedup_bytes_saved: int = 0
+    #: per-transfer compress-vs-raw decisions ({"compress": n, "raw": m}).
+    compression_decisions: Counter = field(default_factory=Counter)
+    #: wire bytes saved by compressed transfers (raw - shipped).
+    compression_bytes_saved: int = 0
+    #: simulated seconds spent in codec work (compress + decompress).
+    compression_seconds: float = 0.0
     #: most recent request keys, capped at ``max_request_log`` entries.
     request_log: deque = None  # type: ignore[assignment]
     _pending_prefetched: set = field(default_factory=set)
@@ -95,6 +106,24 @@ class DMSStatistics:
         self.loads_by_strategy[strategy] += 1
         self.load_seconds_by_strategy[strategy] += seconds
         self.bytes_loaded += nbytes
+
+    def record_dedup_follow(self, nbytes: int) -> None:
+        """A forced load attached to another node's in-flight load."""
+        self.dedup_follows += 1
+        self.dedup_bytes_saved += nbytes
+
+    def record_compression(
+        self, decision: str, nbytes: int, wire_bytes: int, seconds: float
+    ) -> None:
+        """One compress-vs-raw call on the transfer path.
+
+        ``decision`` is ``"compress"`` or ``"raw"``; ``wire_bytes`` is
+        what actually crossed the link, ``seconds`` the simulated codec
+        time charged (0 for raw transfers).
+        """
+        self.compression_decisions[decision] += 1
+        self.compression_bytes_saved += nbytes - wire_bytes
+        self.compression_seconds += seconds
 
     def record_prefetch(self, key: Hashable, issued: bool) -> None:
         if issued:
@@ -157,6 +186,11 @@ class DMSStatistics:
         self.prefetches_useful += other.prefetches_useful
         self.prefetches_dropped += other.prefetches_dropped
         self.misses_covered += other.misses_covered
+        self.dedup_follows += other.dedup_follows
+        self.dedup_bytes_saved += other.dedup_bytes_saved
+        self.compression_decisions.update(other.compression_decisions)
+        self.compression_bytes_saved += other.compression_bytes_saved
+        self.compression_seconds += other.compression_seconds
         self.request_log.extend(other.request_log)
 
     # ---------------------------------------------------------- metrics
@@ -204,6 +238,34 @@ class DMSStatistics:
         covered.set(self.misses_covered)
         hit_rate.set(self.hit_rate)
         accuracy.set(self.prefetch_accuracy)
+        # Cluster-dedup and wire-compression series appear only once
+        # the features have fired, so default runs publish exactly the
+        # pre-existing metric set.
+        labels = {"node": node}
+        if self.dedup_follows:
+            registry.counter(
+                "viracocha_dms_dedup_follows_total", labels,
+                help="forced loads that attached to another node's in-flight load",
+            ).set(self.dedup_follows)
+            registry.counter(
+                "viracocha_dms_dedup_bytes_saved_total", labels,
+                help="fileserver bytes saved by cluster-wide single flight",
+            ).set(self.dedup_bytes_saved)
+        for decision, count in sorted(self.compression_decisions.items()):
+            registry.counter(
+                "viracocha_dms_compression_decisions_total",
+                {**labels, "decision": decision},
+                help="per-transfer compress-vs-raw decisions",
+            ).set(count)
+        if self.compression_decisions:
+            registry.counter(
+                "viracocha_dms_compression_bytes_saved_total", labels,
+                help="wire bytes saved by compressed transfers",
+            ).set(self.compression_bytes_saved)
+            registry.counter(
+                "viracocha_dms_compression_seconds_total", labels,
+                help="simulated codec seconds (compress + decompress)",
+            ).set(self.compression_seconds)
 
     def _bind(self, registry, node: str) -> tuple:
         """Create/look up every fixed series once; see ``_handles``."""

@@ -48,7 +48,7 @@ PHASES = (
     "queue",        # request transit, group formation, dispatch overhead
     "load_disk",    # fileserver / local-disk block I/O on the path
     "load_wire",    # node-to-node & collective fabric transfers
-    "decompress",   # wire decompression (0 until dms.compression is wired)
+    "decompress",   # codec time on compressed transfers (DMSConfig.compression)
     "compute",      # feature extraction on worker cores
     "merge",        # partial-result collection and merge at the master
     "stream",       # result packets to the visualization client
@@ -82,8 +82,9 @@ _RECOVERY_MARKERS = frozenset({
 })
 
 #: loading strategies that move bytes over the fabric rather than the
-#: fileserver/disk path (see repro.dms.loading).
-_WIRE_STRATEGIES = frozenset({"node-transfer", "collective"})
+#: fileserver/disk path (see repro.dms.loading); "dedup-follow" is a
+#: cluster-dedup follower pulling the block from the winner's cache.
+_WIRE_STRATEGIES = frozenset({"node-transfer", "collective", "dedup-follow"})
 
 
 @dataclass(frozen=True)

@@ -143,6 +143,10 @@ def measure(
     """
     from ..faults.chaos import trace_fingerprint
 
+    # The cluster-DMS cell only makes sense on the stock sentry
+    # workload; explicit commands/session_factory (tests, ad-hoc runs)
+    # keep the exact shape they asked for.
+    include_cluster = commands is None and session_factory is None
     if session_factory is not None:
         session = session_factory()
     else:
@@ -174,6 +178,10 @@ def measure(
             "phase_seconds": phase_seconds,
             "coverage": coverage,
         }
+    if include_cluster:
+        per_command["cluster-iso-concurrent"] = _measure_cluster_cell(
+            data, workers
+        )
     slo_rollup: dict[str, Any] = {}
     for st in tracker.status("command"):
         slo_rollup.setdefault(st.slo.name, {})[st.key] = {
@@ -195,6 +203,64 @@ def measure(
         "slo": slo_rollup,
         "_session": session,   # stripped before serialization
         "_tracker": tracker,
+    }
+
+
+def _measure_cluster_cell(data: str, workers: int) -> dict[str, Any]:
+    """One cluster-scale DMS cell: two concurrent tenants over shared
+    timesteps with cluster dedup, contention-aware selection, and ZSTD
+    wire compression on.  Gated like any other sentry cell —
+    fingerprints exactly, phase seconds (including the new dedup wire
+    pulls and codec time) within tolerance bands.
+    """
+    from ..bench.calibration import paper_cluster, paper_costs
+    from ..core.session import ViracochaSession
+    from ..dms.compression import ZSTD_2020
+    from ..dms.proxy import DMSConfig
+    from ..faults.chaos import trace_fingerprint
+    from ..synth import build_engine, build_propfan
+
+    builders = {"engine": build_engine, "propfan": build_propfan}
+    dataset = builders[data](base_resolution=4, n_timesteps=2)
+    session = ViracochaSession(
+        dataset,
+        cluster_config=paper_cluster(workers),
+        costs=paper_costs(),
+        dms_config=DMSConfig(
+            cluster_dedup=True, contention_aware=True, compression=ZSTD_2020
+        ),
+    )
+    group = max(1, workers // 2)
+    results = session.run_concurrent([
+        {
+            "command": "iso-dataman",
+            "params": {
+                "isovalue": -0.3, "scalar": "pressure", "time_range": (0, 2),
+            },
+            "group_size": group,
+            "tenant": tenant,
+        }
+        for tenant in ("tenant-a", "tenant-b")
+    ])
+    # The batch shares one span slice; analyze it once (via the first
+    # result) so phase seconds are not double-counted.
+    report = analyze_result(results[0])
+    phase_seconds = {p: 0.0 for p in PHASES}
+    phase_seconds.update(report.phase_seconds)
+    agg = session.scheduler.aggregate_dms_stats()
+    server = session.scheduler.server
+    return {
+        "fingerprints": [trace_fingerprint(r) for r in results],
+        "runtime_seconds": [r.total_runtime for r in results],
+        "latency_seconds": [r.latency for r in results],
+        "phase_seconds": phase_seconds,
+        "coverage": report.coverage,
+        "dedup_followers": server.dedup_followers,
+        "dedup_load_seconds": agg.load_seconds_by_strategy.get(
+            "dedup-follow", 0.0
+        ),
+        "compression_codec_seconds": agg.compression_seconds,
+        "compression_decisions": dict(sorted(agg.compression_decisions.items())),
     }
 
 
@@ -240,6 +306,16 @@ def compare(
             problems.append(
                 f"{name}: critical-path coverage {cur['coverage']:.1%} < 95%"
             )
+        # Cluster-cell extras (dedup wire seconds, codec seconds) ride
+        # the same tolerance bands as phase seconds.
+        for key in ("dedup_load_seconds", "compression_codec_seconds"):
+            if key in base:
+                b, c = base[key], cur.get(key, 0.0)
+                if not _close(b, c, tol.rel, tol.abs_s):
+                    problems.append(
+                        f"{name}: {key} moved {b:.6f}s -> {c:.6f}s "
+                        f"(tolerance ±{tol.rel:.0%} / {tol.abs_s}s)"
+                    )
     for slo_name, base_rollup in baseline.get("slo", {}).items():
         cur_rollup = current.get("slo", {}).get(slo_name, {})
         for key, base_cell in base_rollup.items():

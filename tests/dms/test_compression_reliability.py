@@ -1,6 +1,8 @@
 """Tests for the compression model and fileserver-health adaptation."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.des import ClusterConfig, Environment, SimCluster
 from repro.dms import (
@@ -11,7 +13,7 @@ from repro.dms import (
     SyntheticSource,
     block_item,
 )
-from repro.dms.compression import GZIP_2004, LZO_2004, CompressionModel
+from repro.dms.compression import GZIP_2004, LZO_2004, ZSTD_2020, CompressionModel
 from repro.synth import build_engine
 
 MB = 1024 * 1024
@@ -55,13 +57,91 @@ def test_breakeven_bandwidth_is_consistent():
     assert not codec.worthwhile(10 * MB, be * 2.0)
 
 
-def test_latency_cancels_out():
-    """Fixed latency applies to both paths; it never flips the decision."""
+def test_latency_can_veto_compression():
+    """The compressed path pays the per-message latency twice (payload
+    plus the framing announcement round), so a chatty enough link can
+    veto compression for small transfers even below break-even
+    bandwidth — the old model wrongly claimed latency cancels out."""
     codec = GZIP_2004
-    for bw in (0.5 * MB, 400 * MB):
-        assert codec.worthwhile(MB, bw, latency=0.0) == codec.worthwhile(
-            MB, bw, latency=5.0
-        )
+    bw = 0.5 * MB  # well below GZIP_2004's ~3 MB/s break-even
+    assert codec.worthwhile(MB, bw, latency=0.0)
+    # A 5 s round trip costs the compressed path 5 extra seconds while
+    # saving only ~0.5 s of wire time on a 1 MB transfer: raw wins.
+    assert not codec.worthwhile(MB, bw, latency=5.0)
+    # On a fast link latency changes nothing: raw already wins.
+    assert not codec.worthwhile(MB, 400 * MB, latency=0.0)
+    assert not codec.worthwhile(MB, 400 * MB, latency=5.0)
+
+
+def test_latency_veto_fades_for_large_transfers():
+    """The framing round is a fixed cost, so it stops mattering once
+    the transfer is large enough to amortize it."""
+    codec = GZIP_2004
+    bw = 0.5 * MB
+    assert not codec.worthwhile(MB, bw, latency=5.0)
+    assert codec.worthwhile(10_000 * MB, bw, latency=5.0)
+
+
+@given(
+    nbytes=st.integers(min_value=1, max_value=64 * 1024 * 1024 * 1024),
+    bw_scale=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+    codec=st.sampled_from([GZIP_2004, LZO_2004, ZSTD_2020]),
+)
+@settings(max_examples=200, deadline=None)
+def test_worthwhile_matches_breakeven_when_latency_free(nbytes, bw_scale, codec):
+    """In the latency-free regime ``worthwhile(nbytes, bw)`` is exactly
+    ``bw < breakeven_bandwidth()`` for every transfer size (both sides
+    of the comparison scale linearly in ``nbytes``, so size cancels)."""
+    be = codec.breakeven_bandwidth()
+    bw = be * bw_scale
+    # Skip a vanishing band around the boundary where the float
+    # rounding of be * scale could legitimately land on either side.
+    if abs(bw - be) / be < 1e-9:
+        return
+    assert codec.worthwhile(nbytes, bw, latency=0.0) == (bw < be)
+
+
+def test_breakeven_bandwidth_at_converges_to_asymptote():
+    """The latency-aware break-even rises to the latency-free one as
+    the transfer grows (the framing round amortizes away)."""
+    codec = GZIP_2004
+    be = codec.breakeven_bandwidth()
+    latency = 5e-3
+    prev = 0.0
+    for nbytes in (1024, MB, 1024 * MB):
+        be_at = codec.breakeven_bandwidth_at(nbytes, latency)
+        assert prev < be_at < be
+        prev = be_at
+    assert codec.breakeven_bandwidth_at(1024**4, latency) == pytest.approx(
+        be, rel=1e-3
+    )
+    # With no latency the exact form equals the asymptote at any size.
+    assert codec.breakeven_bandwidth_at(MB, 0.0) == pytest.approx(be)
+    assert codec.breakeven_bandwidth_at(0, latency) == 0.0
+
+
+def test_breakeven_bandwidth_at_is_the_decision_boundary():
+    """``worthwhile`` flips exactly at the latency-aware break-even."""
+    codec = GZIP_2004
+    nbytes, latency = 4 * MB, 2e-2
+    be_at = codec.breakeven_bandwidth_at(nbytes, latency)
+    assert codec.worthwhile(nbytes, be_at * 0.99, latency=latency)
+    assert not codec.worthwhile(nbytes, be_at * 1.01, latency=latency)
+
+
+def test_modern_codec_flips_the_2004_conclusion():
+    """ZSTD_2020's break-even (~105 MB/s) sits above the model's
+    60 MB/s fileserver but below the 800 MB/s fabric: compression wins
+    on the fileserver link and still loses on the fabric — the modern
+    flip of the paper's 2004 rejection on unchanged link speeds."""
+    be = ZSTD_2020.breakeven_bandwidth()
+    assert 60e6 < be < 800e6
+    assert ZSTD_2020.worthwhile(4 * MB, 60e6)
+    assert not ZSTD_2020.worthwhile(4 * MB, 800e6)
+    # The 2004 codecs reject compression on both links, as the paper did.
+    for codec in (GZIP_2004, LZO_2004):
+        assert not codec.worthwhile(4 * MB, 60e6)
+        assert not codec.worthwhile(4 * MB, 800e6)
 
 
 # ----------------------------------------------------------- reliability
