@@ -636,6 +636,191 @@ def main_pr8(args) -> int:
     return 0
 
 
+# --------------------------------------------------------------- PR 9
+PR9_RESOLUTION = 8   #: blocks must be coarsenable (3+ pyramid levels)
+PR9_TIMESTEPS = 2
+PR9_WORKERS = 8
+#: the propfan pressure field spans [-3.70, -0.44]; -1.0 cuts a real
+#: surface through most blocks, -0.8 is the interactive re-extraction.
+PR9_PARAMS = {
+    "isovalue": -1.0, "scalar": "pressure",
+    "time_range": (0, PR9_TIMESTEPS), "max_levels": 4,
+}
+PR9_WARM_ISOVALUE = -0.8
+PR9_FLOORS = {"ttfa_speedup": 5.0}
+
+
+def _pr9_session():
+    from repro.bench.calibration import paper_cluster, paper_costs
+    from repro.core.session import ViracochaSession
+    from repro.synth import build_propfan
+
+    dataset = build_propfan(
+        base_resolution=PR9_RESOLUTION, n_timesteps=PR9_TIMESTEPS
+    )
+    return ViracochaSession(
+        dataset,
+        n_workers=PR9_WORKERS,
+        cluster_config=paper_cluster(PR9_WORKERS),
+        costs=paper_costs(),
+    )
+
+
+def bench_pr9_ttfa() -> dict:
+    """Time-to-first-approximation, level-major vs depth-first.
+
+    Each schedule gets a fresh session and runs the progressive command
+    twice at propfan scale: a cold pass (disk loads gate both schedules
+    alike) and a warm pass at a new isovalue — the paper's interactive
+    re-extraction, where the DMS-cached pyramids make scheduling the
+    whole difference.  All TTFA numbers are *simulated* seconds, so the
+    floor is machine-independent.
+    """
+    out: dict = {}
+    for schedule in ("level-major", "depth-first"):
+        session = _pr9_session()
+        cold = session.run(
+            "iso-progressive", params=dict(PR9_PARAMS, schedule=schedule)
+        )
+        warm = session.run(
+            "iso-progressive",
+            params=dict(PR9_PARAMS, schedule=schedule,
+                        isovalue=PR9_WARM_ISOVALUE),
+        )
+        agg = session.scheduler.aggregate_dms_stats()
+        out[schedule] = {
+            "ttfa_cold_s": cold.ttfa_s,
+            "ttfa_warm_s": warm.ttfa_s,
+            "runtime_cold_s": cold.total_runtime,
+            "runtime_warm_s": warm.total_runtime,
+            "pyramid_cache_hits": agg.derived_hits_l1 + agg.derived_hits_l2,
+            "pyramid_cache_misses": agg.derived_misses,
+        }
+    lm, df = out["level-major"], out["depth-first"]
+    out["ttfa_speedup"] = df["ttfa_warm_s"] / max(lm["ttfa_warm_s"], 1e-12)
+    out["ttfa_speedup_cold"] = df["ttfa_cold_s"] / max(lm["ttfa_cold_s"], 1e-12)
+    return out
+
+
+def bench_pr9_equivalence() -> dict:
+    """Finest-level progressive geometry vs plain iso, byte for byte.
+
+    Both commands run through :class:`~repro.parallel.ParallelExtractor`
+    (real numerics, process executor) over the same written propfan
+    store; the progressive merge selects the finest level per block, so
+    vertices, triangle count and attributes must match plain
+    ``iso-dataman`` exactly.
+    """
+    import tempfile
+
+    import numpy as np
+
+    from repro.io import write_dataset
+    from repro.parallel import ParallelExtractor
+    from repro.synth import build_propfan
+
+    pf = build_propfan(
+        base_resolution=PR9_RESOLUTION, n_timesteps=PR9_TIMESTEPS
+    )
+    iso_params = {
+        k: PR9_PARAMS[k] for k in ("isovalue", "scalar", "time_range")
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        store = write_dataset(
+            tmp,
+            [pf.level(t) for t in range(PR9_TIMESTEPS)],
+            modeled_shapes=list(pf.spec.modeled_shapes),
+            times=pf.spec.times[:PR9_TIMESTEPS],
+        )
+        with ParallelExtractor(
+            store, workers=4, executor="process", observe=False
+        ) as ext:
+            iso = ext.run("iso-dataman", params=dict(iso_params)).result
+            prog = ext.run("iso-progressive", params=dict(PR9_PARAMS)).result
+    identical = (
+        iso.vertices.tobytes() == prog.vertices.tobytes()
+        and sorted(iso.attributes) == sorted(prog.attributes)
+        and all(
+            iso.attributes[k].tobytes() == prog.attributes[k].tobytes()
+            for k in iso.attributes
+        )
+    )
+    return {
+        "n_triangles_iso": iso.n_triangles,
+        "n_triangles_progressive_finest": prog.n_triangles,
+        "byte_identical": identical,
+    }
+
+
+def measure_pr9() -> dict:
+    return {
+        "ttfa": bench_pr9_ttfa(),
+        "equivalence": bench_pr9_equivalence(),
+        "golden": bench_pr8_golden(),
+    }
+
+
+def pr9_invariants(current: dict) -> dict:
+    """The pass/fail ledger ``--check`` enforces (simulated-time and
+    exact-geometry facts, so they hold on any machine)."""
+    return {
+        "ttfa_speedup": (
+            current["ttfa"]["ttfa_speedup"] >= PR9_FLOORS["ttfa_speedup"]
+        ),
+        "finest_equals_iso": current["equivalence"]["byte_identical"],
+        "golden_fingerprint_matches": current["golden"]["matches_pin"],
+    }
+
+
+def main_pr9(args) -> int:
+    current = measure_pr9()
+    invariants = pr9_invariants(current)
+    report = {
+        "suite": "pr9",
+        "machine": platform.platform(),
+        "python": platform.python_version(),
+        "resolution": PR9_RESOLUTION,
+        "timesteps": PR9_TIMESTEPS,
+        "workers": PR9_WORKERS,
+        "current": current,
+        "floors": PR9_FLOORS,
+        "invariants": invariants,
+        "meets_floors": all(invariants.values()),
+    }
+    ttfa = current["ttfa"]
+    for schedule in ("level-major", "depth-first"):
+        cell = ttfa[schedule]
+        print(
+            f"pr9 {schedule:<12s} TTFA cold {cell['ttfa_cold_s']:.1f}s(sim) "
+            f"warm {cell['ttfa_warm_s']:.2f}s(sim)  "
+            f"pyramid cache {cell['pyramid_cache_hits']} hits / "
+            f"{cell['pyramid_cache_misses']} misses"
+        )
+    print(
+        f"pr9 warm TTFA speedup {ttfa['ttfa_speedup']:.1f}x "
+        f"(floor {PR9_FLOORS['ttfa_speedup']}x), "
+        f"cold {ttfa['ttfa_speedup_cold']:.2f}x"
+    )
+    eq = current["equivalence"]
+    print(
+        f"pr9 finest-vs-iso: {eq['n_triangles_progressive_finest']} vs "
+        f"{eq['n_triangles_iso']} triangles, byte-identical "
+        f"{eq['byte_identical']}, golden match "
+        f"{current['golden']['matches_pin']}"
+    )
+    for name, ok in invariants.items():
+        if not ok:
+            print(f"pr9 invariant FAILED: {name}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.json}")
+    if args.check and not report["meets_floors"]:
+        print("FAIL: PR-9 floors/invariants not met", file=sys.stderr)
+        return 1
+    return 0
+
+
 def speedups(current: dict) -> dict:
     out = {}
     for key, base in BASELINE.items():
@@ -657,10 +842,11 @@ def main(argv=None) -> int:
         help="print a BASELINE dict for re-basing on new hardware",
     )
     parser.add_argument(
-        "--suite", choices=("pr4", "pr5", "pr8"), default="pr4",
+        "--suite", choices=("pr4", "pr5", "pr8", "pr9"), default="pr4",
         help="pr4: engine throughput vs pinned baseline; "
         "pr5: multicore extraction vs the legacy serial path; "
-        "pr8: cluster-scale DMS (dedup, compression, strategy crossover)",
+        "pr8: cluster-scale DMS (dedup, compression, strategy crossover); "
+        "pr9: progressive LOD streaming TTFA vs depth-first",
     )
     args = parser.parse_args(argv)
 
@@ -668,6 +854,8 @@ def main(argv=None) -> int:
         return main_pr5(args)
     if args.suite == "pr8":
         return main_pr8(args)
+    if args.suite == "pr9":
+        return main_pr9(args)
     current = measure()
     if args.update_baseline:
         print("BASELINE =", json.dumps(current, indent=4))

@@ -630,6 +630,15 @@ def _slo_main(args: list[str]) -> int:
     print()
     print("critical-path phase attribution (summed over repeats):")
     for name, entry in current["commands"].items():
+        if "phase_seconds" not in entry:
+            # Progressive-TTFA cell: scheduling comparison, not phases.
+            print(
+                f"  {name:20s} warm TTFA level-major "
+                f"{entry['ttfa_level_major_s']:.2f}s vs depth-first "
+                f"{entry['ttfa_depth_first_s']:.2f}s "
+                f"({entry['ttfa_speedup']:.1f}x)"
+            )
+            continue
         total = sum(entry["phase_seconds"].values())
         shares = ", ".join(
             f"{phase} {seconds / total:.0%}"

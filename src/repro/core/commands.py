@@ -33,6 +33,7 @@ from .costs import CostModel
 __all__ = [
     "Load",
     "Compute",
+    "ComputeCached",
     "Emit",
     "Prefetch",
     "CommandContext",
@@ -51,6 +52,29 @@ class Load:
 class Compute:
     cost: float
     fn: Callable[[], Any] | None = None
+
+
+@dataclass(frozen=True)
+class ComputeCached:
+    """Derive-once compute: the result is a cacheable data item (§4).
+
+    On a DMS cache hit the op evaluates to the cached payload without
+    running ``fn`` or charging ``cost`` (an L2 hit pays the local read
+    of ``nbytes``); on a miss ``fn`` runs, ``cost`` is charged, and the
+    payload is admitted to the cache under ``item`` so later commands —
+    or later refinement passes of the same command — skip the work.
+
+    ``fn=None`` turns the op into a *probe*: a hit evaluates to the
+    cached payload as usual, a miss evaluates to ``None`` with nothing
+    charged or recorded.  Commands use probes to skip upstream work a
+    hit makes redundant — e.g. the progressive command only ``Load``\\ s
+    the full-resolution block when its pyramid is not already cached.
+    """
+
+    item: ItemName
+    cost: float
+    fn: Callable[[], Any] | None
+    nbytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -102,7 +126,7 @@ class CommandContext:
         raise KeyError(f"no handle for block {block_id} at t={time_index}")
 
 
-CommandGen = Generator["Load | Compute | Emit | Prefetch", Any, None]
+CommandGen = Generator["Load | Compute | ComputeCached | Emit | Prefetch", Any, None]
 
 
 class Command:

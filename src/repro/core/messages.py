@@ -89,6 +89,11 @@ class ResultPacket:
     payload: Any
     nbytes: int
     final: bool = False
+    #: payload class: "geometry" for surface fragments, "approximation"
+    #: for the zero-byte marker a progressive worker sends once the
+    #: coarsest level of *all* its blocks is out (the client's TTFA
+    #: measurement point).
+    kind: str = "geometry"
 
     @property
     def wire_bytes(self) -> int:

@@ -67,6 +67,11 @@ class CommandResult:
     queue_wait_s: float = 0.0
     #: originating tenant when submitted through the serving layer.
     tenant: str = "default"
+    #: submit → first *complete* approximation at the client (TTFA)
+    #: [sim s].  Progressive commands mark it with per-worker
+    #: "approximation" packets; for everything else it equals
+    #: ``latency`` (the first data is the only approximation).
+    ttfa_s: float = 0.0
 
     @property
     def complete(self) -> bool:
@@ -108,6 +113,8 @@ class CommandResult:
             "frame_rate_ok": criteria.frame_rate_ok(frame_rate),
             "first_feedback_s": self.latency,
             "response_time_ok": criteria.response_time_ok(self.latency),
+            "first_approximation_s": self.ttfa_s,
+            "ttfa_ok": criteria.response_time_ok(self.ttfa_s),
         }
 
 
@@ -222,7 +229,6 @@ class ViracochaSession:
         proc = self.env.process(submit(), name=f"run-{command}")
         record = self.env.run(until=proc)
         self.env.run(until=done)
-        self.tracer.end(session_span)
 
         breakdown_after = self._worker_breakdown()
         stats_after = self._dms_snapshot()
@@ -232,10 +238,18 @@ class ViracochaSession:
             raise RuntimeError(f"command {command!r} produced no final packet")
         total_runtime = final - t_submit
         latency = (first - t_submit) if first is not None else total_runtime
+        approx = self.client.first_approximation_time(group_size)
+        ttfa_s = (approx - t_submit) if approx is not None else latency
+        # Only progressive runs stamp the span: non-progressive traces
+        # (and their committed golden fingerprints) must not change.
+        if approx is not None:
+            self.tracer.end(session_span, ttfa_s=ttfa_s)
+        else:
+            self.tracer.end(session_span)
         packet_times = [p.time - t_submit for p in self.client.packets]
         self._record_run_metrics(
             command, total_runtime, latency, packet_times,
-            degraded=record.degraded,
+            degraded=record.degraded, ttfa=ttfa_s,
         )
         return CommandResult(
             command=command,
@@ -263,6 +277,7 @@ class ViracochaSession:
             },
             queue_wait_s=record.queue_wait_s,
             tenant=tenant,
+            ttfa_s=ttfa_s,
         )
 
     # ------------------------------------------------------------ helpers
@@ -280,6 +295,7 @@ class ViracochaSession:
         latency: float,
         packet_times: list[float],
         degraded: bool = False,
+        ttfa: float | None = None,
     ) -> None:
         """Feed one finished run into the unified metrics registry."""
         m = self.metrics
@@ -305,6 +321,11 @@ class ViracochaSession:
             "viracocha_command_latency_seconds",
             help="submit-to-first-data latency [sim s]",
         ).observe(latency)
+        m.histogram(
+            "viracocha_command_ttfa_seconds",
+            help="submit-to-first-complete-approximation (TTFA) [sim s]; "
+                 "equals latency for non-progressive commands",
+        ).observe(latency if ttfa is None else ttfa)
         interarrival = m.histogram(
             "viracocha_packet_interarrival_seconds",
             buckets=self._INTERARRIVAL_BUCKETS,
@@ -406,19 +427,25 @@ class ViracochaSession:
             self.env.run(until=done)
             packets = self.client.packets_by_request.get(request_id, [])
             payloads = self.client.payloads_by_request.get(request_id, [])
-            first = next(
-                (p.time for p in packets if p.nbytes > 0 or p.n_triangles > 0), None
-            )
+            # Per-request accounting: interleaved tenants must not
+            # report each other's first packet as their own latency.
+            first = self.client.first_data_time_of(request_id)
             final = next((p.time for p in packets if p.final), self.env.now)
+            approx = self.client.first_approximation_time(
+                group_size, request_id=request_id
+            )
+            latency = (first if first is not None else final) - t_submit
+            ttfa_s = (approx - t_submit) if approx is not None else latency
             from ..viz.mesh import TriangleMesh
 
             meshes = [p for p in payloads if isinstance(p, TriangleMesh)]
             self._record_run_metrics(
                 command,
                 final - t_submit,
-                (first if first is not None else final) - t_submit,
+                latency,
                 [p.time - t_submit for p in packets],
                 degraded=record.degraded,
+                ttfa=ttfa_s,
             )
             results.append(
                 CommandResult(
@@ -426,7 +453,7 @@ class ViracochaSession:
                     params=params,
                     group_size=group_size,
                     total_runtime=final - t_submit,
-                    latency=(first if first is not None else final) - t_submit,
+                    latency=latency,
                     n_packets=len(packets),
                     packet_times=[p.time - t_submit for p in packets],
                     geometry=TriangleMesh.merge(meshes),
@@ -445,6 +472,7 @@ class ViracochaSession:
                     },
                     queue_wait_s=record.queue_wait_s,
                     tenant=tenant,
+                    ttfa_s=ttfa_s,
                 )
             )
         self.tracer.end(batch_span)

@@ -19,7 +19,15 @@ from ..des.kernel import Environment, Event
 from ..dms.proxy import DataProxy
 from ..dms.source import BlockSource
 from .channels import Mailbox, SimMPIChannel, SimTCPChannel
-from .commands import Command, CommandContext, Compute, Emit, Load, Prefetch
+from .commands import (
+    Command,
+    CommandContext,
+    Compute,
+    ComputeCached,
+    Emit,
+    Load,
+    Prefetch,
+)
 from .messages import ProgressUpdate, ResultPacket, WorkerDone
 
 __all__ = ["Worker", "WorkerShare", "WorkerUnavailable"]
@@ -196,6 +204,38 @@ class Worker:
                     if tracer is not None:
                         tracer.end(cspan)
                         open_leaf = None
+                elif isinstance(op, ComputeCached):
+                    cspan = None
+                    if tracer is not None:
+                        cspan = open_leaf = tracer.begin(
+                            "compute", name=command.name, node=self.node.node_id,
+                            parent=wspan, cost=op.cost, item=str(op.item),
+                        )
+                    t_op = self.env.now
+                    payload, where = (None, None)
+                    if command.use_dms:
+                        payload, where = self.proxy.lookup_derived(
+                            op.item, count_miss=op.fn is not None
+                        )
+                    if payload is not None:
+                        # Derived-cache hit: the work was already paid
+                        # for; an L2 hit still costs the local read.
+                        if where == "l2":
+                            yield from self.node.read_local(op.nbytes)
+                        op_result = payload
+                    elif op.fn is not None:
+                        op_result = op.fn()
+                        yield from self.node.compute(op.cost)
+                        if command.use_dms:
+                            yield from self.proxy.store_derived(
+                                op.item, op_result, op.nbytes
+                            )
+                    # else: a probe (fn=None) missed — the command will
+                    # derive the item itself; nothing charged here.
+                    share.compute_seconds += self.env.now - t_op
+                    if tracer is not None:
+                        tracer.end(cspan, cached=payload is not None)
+                        open_leaf = None
                 elif isinstance(op, Emit):
                     if command.streaming:
                         sspan = None
@@ -214,6 +254,7 @@ class Worker:
                             sequence=share.packets_streamed,
                             payload=op.payload,
                             nbytes=op.nbytes,
+                            kind=op.kind,
                         )
                         share.packets_streamed += 1
                         yield from self.tcp.send(self.node, packet, client_mailbox)

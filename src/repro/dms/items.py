@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ItemName", "NameService", "NameResolver", "block_item"]
+__all__ = ["ItemName", "NameService", "NameResolver", "block_item", "pyramid_item"]
 
 
 @dataclass(frozen=True, order=True)
@@ -50,6 +50,31 @@ def block_item(dataset: str, time_index: int, block_id: int, kind: str = "block"
         source=dataset,
         kind=kind,
         params=(("block", block_id), ("time", time_index)),
+    )
+
+
+def pyramid_item(
+    dataset: str,
+    time_index: int,
+    block_id: int,
+    min_dim: int,
+    max_levels: int,
+) -> ItemName:
+    """Item name for a block's derived multi-resolution pyramid.
+
+    Keyed by the pyramid shape parameters only — the pyramid coarsens
+    every field, so commands with different scalars or isovalues share
+    one cached item.
+    """
+    return ItemName(
+        source=dataset,
+        kind="block-pyramid",
+        params=(
+            ("block", block_id),
+            ("levels", max_levels),
+            ("min_dim", min_dim),
+            ("time", time_index),
+        ),
     )
 
 

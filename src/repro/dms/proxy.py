@@ -440,6 +440,39 @@ class DataProxy:
         self._issue_prefetches(item, was_hit=where != "miss", parent_span=parent_span)
         return payload
 
+    # ---------------------------------------------------------- derived
+    def lookup_derived(
+        self, item: ItemName, count_miss: bool = True
+    ) -> tuple[Any, str | None]:
+        """Cache-only lookup of a derived item (no load path exists).
+
+        Derived items are computed, not read, so a miss has no transfer
+        strategy to fall back on — the caller recomputes and calls
+        :meth:`store_derived`.  Returns ``(payload, where)`` with
+        ``where`` in ``("l1", "l2")`` on a hit and ``None`` on a miss.
+        ``count_miss=False`` keeps a *probe* miss out of the statistics:
+        the caller will look up again (and then miss for real) once it
+        has gathered the inputs to derive the item.
+        """
+        ident = self.resolver.resolve(item)
+        payload, where = self.cache.get(ident)
+        if payload is not None:
+            self.stats.record_derived(where)
+        elif count_miss:
+            self.stats.record_derived(None)
+        return payload, (where if payload is not None else None)
+
+    def store_derived(
+        self, item: ItemName, payload: Any, nbytes: int
+    ) -> Generator[Event, None, None]:
+        """Process body: admit a freshly derived item, charging spills."""
+        ident = self.resolver.resolve(item)
+        spilled = self._admit(ident, payload, nbytes)
+        # Spills to the disk tier cost a local write.
+        if self.cache.l2 is not None:
+            for _key, _p, spill_bytes in spilled:
+                yield from self.node.write_local(spill_bytes)
+
     # --------------------------------------------------------- prefetch
     def _issue_prefetches(
         self, item: ItemName, was_hit: bool, parent_span=None

@@ -59,6 +59,12 @@ class DMSStatistics:
     compression_bytes_saved: int = 0
     #: simulated seconds spent in codec work (compress + decompress).
     compression_seconds: float = 0.0
+    #: derived-item (e.g. block-pyramid) cache lookups, by outcome.
+    #: Separate from the block counters: derived items have no load
+    #: path, so a derived miss means recomputation, not a transfer.
+    derived_hits_l1: int = 0
+    derived_hits_l2: int = 0
+    derived_misses: int = 0
     #: most recent request keys, capped at ``max_request_log`` entries.
     request_log: deque = None  # type: ignore[assignment]
     _pending_prefetched: set = field(default_factory=set)
@@ -106,6 +112,15 @@ class DMSStatistics:
         self.loads_by_strategy[strategy] += 1
         self.load_seconds_by_strategy[strategy] += seconds
         self.bytes_loaded += nbytes
+
+    def record_derived(self, where: str | None) -> None:
+        """One derived-item cache lookup; ``where`` is l1/l2 or None."""
+        if where == "l1":
+            self.derived_hits_l1 += 1
+        elif where == "l2":
+            self.derived_hits_l2 += 1
+        else:
+            self.derived_misses += 1
 
     def record_dedup_follow(self, nbytes: int) -> None:
         """A forced load attached to another node's in-flight load."""
@@ -191,6 +206,9 @@ class DMSStatistics:
         self.compression_decisions.update(other.compression_decisions)
         self.compression_bytes_saved += other.compression_bytes_saved
         self.compression_seconds += other.compression_seconds
+        self.derived_hits_l1 += other.derived_hits_l1
+        self.derived_hits_l2 += other.derived_hits_l2
+        self.derived_misses += other.derived_misses
         self.request_log.extend(other.request_log)
 
     # ---------------------------------------------------------- metrics
@@ -266,6 +284,20 @@ class DMSStatistics:
                 "viracocha_dms_compression_seconds_total", labels,
                 help="simulated codec seconds (compress + decompress)",
             ).set(self.compression_seconds)
+        # Derived-item series appear only for commands that cache
+        # derived data (e.g. progressive pyramids), same contract.
+        if self.derived_hits_l1 or self.derived_hits_l2 or self.derived_misses:
+            for tier, value in (
+                ("l1", self.derived_hits_l1), ("l2", self.derived_hits_l2),
+            ):
+                registry.counter(
+                    "viracocha_dms_derived_hits_total", {**labels, "tier": tier},
+                    help="derived-item cache hits by tier",
+                ).set(value)
+            registry.counter(
+                "viracocha_dms_derived_misses_total", labels,
+                help="derived-item cache misses (recomputations)",
+            ).set(self.derived_misses)
 
     def _bind(self, registry, node: str) -> tuple:
         """Create/look up every fixed series once; see ``_handles``."""

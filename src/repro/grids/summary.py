@@ -17,7 +17,91 @@ from .geometry import cell_volumes
 from .multiblock import MultiBlockDataset
 from .topology import find_matched_faces
 
-__all__ = ["BlockSummary", "DatasetSummary", "summarize_block", "summarize_dataset"]
+__all__ = [
+    "BlockSummary",
+    "DatasetSummary",
+    "box_field_minmax",
+    "cell_field_minmax",
+    "summarize_block",
+    "summarize_dataset",
+]
+
+# Corner order matches the hex convention in :mod:`..algorithms.tet_tables`
+# so min/max summaries and extraction agree cell by cell.
+_CELL_CORNER_OFFSETS = (
+    (0, 0, 0),
+    (1, 0, 0),
+    (1, 1, 0),
+    (0, 1, 0),
+    (0, 0, 1),
+    (1, 0, 1),
+    (1, 1, 1),
+    (0, 1, 1),
+)
+
+
+def cell_field_minmax(
+    block: StructuredBlock,
+    scalar: str,
+    cells: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cell min/max of ``scalar`` over each cell's 8 corners.
+
+    With ``cells=None`` both arrays cover every cell in flat (C) order;
+    otherwise only the given flat cell indices, in the given order.  A
+    cell is *active* for an isovalue exactly when ``min <= iso <= max``,
+    so these summaries reproduce ``active_cell_indices`` decisions.
+    """
+    f = block.field(scalar)
+    if f.ndim != 3:
+        raise ValueError(f"field {scalar!r} is not a scalar")
+    if cells is None:
+        stacked = np.stack(
+            [
+                f[di or None : f.shape[0] - 1 + di, dj or None : f.shape[1] - 1 + dj,
+                  dk or None : f.shape[2] - 1 + dk]
+                for di, dj, dk in _CELL_CORNER_OFFSETS
+            ]
+        )
+        return stacked.min(axis=0).reshape(-1), stacked.max(axis=0).reshape(-1)
+    ci, cj, ck = block.cell_shape
+    flat = np.asarray(cells, dtype=np.int64)
+    i, rem = np.divmod(flat, cj * ck)
+    j, k = np.divmod(rem, ck)
+    vals = np.stack(
+        [f[i + di, j + dj, k + dk] for di, dj, dk in _CELL_CORNER_OFFSETS], axis=0
+    )
+    return vals.min(axis=0), vals.max(axis=0)
+
+
+def _box_reduce(arr: np.ndarray, idx: np.ndarray, axis: int, ufunc) -> np.ndarray:
+    # ``reduceat`` segments stop one short of the next start; fold the
+    # shared endpoint back in so box c covers fine points
+    # ``idx[c] .. idx[c+1]`` inclusive.
+    seg = ufunc.reduceat(arr, idx[:-1], axis=axis)
+    return ufunc(seg, np.take(arr, idx[1:], axis=axis))
+
+
+def box_field_minmax(
+    field: np.ndarray, index_maps: tuple[np.ndarray, np.ndarray, np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-box min/max of a fine point ``field`` over coarse-cell boxes.
+
+    ``index_maps`` gives, per axis, the fine lattice indices retained by
+    the coarse level (strictly increasing, first 0, last ``n-1``).  Box
+    ``(a, b, c)`` spans fine points ``idx[a]..idx[a+1]`` along each axis,
+    so its interval bounds every fine corner value inside — the
+    conservative bound behind coarse-to-fine active-cell culling.
+    """
+    mins = np.asarray(field)
+    maxs = mins
+    for axis, idx in enumerate(index_maps):
+        idx = np.asarray(idx, dtype=np.int64)
+        if len(idx) < 2:
+            raise ValueError("index map needs at least two entries per axis")
+        mins = _box_reduce(mins, idx, axis, np.minimum)
+        maxs = _box_reduce(maxs, idx, axis, np.maximum)
+    return mins, maxs
 
 
 @dataclass(frozen=True)

@@ -182,6 +182,7 @@ def measure(
         per_command["cluster-iso-concurrent"] = _measure_cluster_cell(
             data, workers
         )
+        per_command["progressive-ttfa"] = _measure_ttfa_cell(data, workers)
     slo_rollup: dict[str, Any] = {}
     for st in tracker.status("command"):
         slo_rollup.setdefault(st.slo.name, {})[st.key] = {
@@ -264,6 +265,64 @@ def _measure_cluster_cell(data: str, workers: int) -> dict[str, Any]:
     }
 
 
+def _measure_ttfa_cell(data: str, workers: int) -> dict[str, Any]:
+    """One progressive-streaming cell: time-to-first-approximation under
+    level-major vs depth-first scheduling, in simulated seconds.
+
+    Each schedule gets a fresh session and runs the command twice: a
+    cold pass (loads dominate both schedules equally) and a warm pass
+    at a *new isovalue* — the paper's interactive re-extraction, where
+    cached pyramids make the coarse pass nearly free and scheduling is
+    the whole difference.  ``base_resolution=8`` keeps the blocks
+    coarsenable (3+ pyramid levels); at the stock sentry resolution the
+    pyramid degenerates to a single level and the schedules coincide.
+    The cell is gated directionally in :func:`compare`: the warm
+    speedup over depth-first has a floor, so a scheduler regression
+    back toward depth-first behavior flips ``repro slo --check`` to
+    exit 1.
+    """
+    from ..bench.calibration import paper_cluster, paper_costs
+    from ..core.session import ViracochaSession
+    from ..faults.chaos import trace_fingerprint
+    from ..synth import build_engine, build_propfan
+
+    builders = {"engine": build_engine, "propfan": build_propfan}
+    params = {
+        "isovalue": -0.3,
+        "scalar": "pressure",
+        "time_range": (0, 1),
+        "max_levels": 4,
+    }
+    fingerprints: list[str] = []
+    ttfa: dict[str, dict[str, float]] = {}
+    for schedule in ("level-major", "depth-first"):
+        dataset = builders[data](base_resolution=8, n_timesteps=1)
+        session = ViracochaSession(
+            dataset,
+            cluster_config=paper_cluster(workers),
+            costs=paper_costs(),
+        )
+        cold = session.run(
+            "iso-progressive", params=dict(params, schedule=schedule)
+        )
+        warm = session.run(
+            "iso-progressive",
+            params=dict(params, schedule=schedule, isovalue=-0.1),
+        )
+        fingerprints.extend([trace_fingerprint(cold), trace_fingerprint(warm)])
+        ttfa[schedule] = {"cold": cold.ttfa_s, "warm": warm.ttfa_s}
+    level_major = ttfa["level-major"]["warm"]
+    depth_first = ttfa["depth-first"]["warm"]
+    return {
+        "fingerprints": fingerprints,
+        "ttfa_cold_level_major_s": ttfa["level-major"]["cold"],
+        "ttfa_cold_depth_first_s": ttfa["depth-first"]["cold"],
+        "ttfa_level_major_s": level_major,
+        "ttfa_depth_first_s": depth_first,
+        "ttfa_speedup": (depth_first / level_major) if level_major > 0 else None,
+    }
+
+
 def strip_runtime(current: dict[str, Any]) -> dict[str, Any]:
     """Drop the live session/tracker handles for JSON serialization."""
     return {k: v for k, v in current.items() if not k.startswith("_")}
@@ -294,6 +353,33 @@ def compare(
                 f"{name}: trace fingerprint drift — simulated behavior "
                 "changed (golden pins would catch the same run)"
             )
+        if "ttfa_level_major_s" in base:
+            # Progressive-TTFA cell: band the simulated seconds, and gate
+            # the speedup *directionally* — falling back toward
+            # depth-first TTFA is a regression even if everything else
+            # stayed inside its band.
+            for key in (
+                "ttfa_cold_level_major_s",
+                "ttfa_cold_depth_first_s",
+                "ttfa_level_major_s",
+                "ttfa_depth_first_s",
+            ):
+                if key not in base:
+                    continue
+                b, c = base[key], cur.get(key, 0.0)
+                if not _close(b, c, tol.rel, tol.abs_s):
+                    problems.append(
+                        f"{name}: {key} moved {b:.6f}s -> {c:.6f}s "
+                        f"(tolerance ±{tol.rel:.0%} / {tol.abs_s}s)"
+                    )
+            b = base.get("ttfa_speedup") or 0.0
+            c = cur.get("ttfa_speedup") or 0.0
+            if c < b * (1.0 - tol.rel):
+                problems.append(
+                    f"{name}: TTFA speedup over depth-first fell "
+                    f"{b:.2f}x -> {c:.2f}x (floor {b * (1.0 - tol.rel):.2f}x)"
+                )
+            continue
         for phase in PHASES:
             b = base["phase_seconds"].get(phase, 0.0)
             c = cur["phase_seconds"].get(phase, 0.0)

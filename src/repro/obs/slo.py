@@ -59,14 +59,16 @@ class SLODefinition:
     """
 
     name: str
-    metric: str  #: "latency" | "runtime" | "queue_wait" | "degraded"
+    metric: str  #: "latency" | "runtime" | "queue_wait" | "ttfa" | "degraded"
     threshold: float  #: seconds; ignored for "degraded"
     target: float = 0.95  #: required good fraction (0..1]
     command_class: str = "*"
     description: str = ""
 
     def __post_init__(self):
-        if self.metric not in ("latency", "runtime", "queue_wait", "degraded"):
+        if self.metric not in (
+            "latency", "runtime", "queue_wait", "ttfa", "degraded"
+        ):
             raise ValueError(f"unknown SLO metric {self.metric!r}")
         if not 0.0 < self.target <= 1.0:
             raise ValueError(f"target must be in (0, 1], got {self.target}")
@@ -92,6 +94,9 @@ class Observation:
     degraded: bool = False
     tenant: str = "default"
     queue_wait: float = 0.0  #: submit → dispatch in a serving queue [sim s]
+    #: submit → first complete approximation [sim s]; equals ``latency``
+    #: for commands without progressive approximation markers.
+    ttfa: float = 0.0
 
 
 @dataclass
@@ -209,9 +214,11 @@ class SLOTracker:
         degraded: bool = False,
         tenant: str = "default",
         queue_wait: float = 0.0,
+        ttfa: float | None = None,
     ) -> None:
         obs = Observation(
-            command, latency, runtime, t, degraded, tenant, queue_wait
+            command, latency, runtime, t, degraded, tenant, queue_wait,
+            ttfa=latency if ttfa is None else ttfa,
         )
         self.observations += 1
         for slo in self.slos:
@@ -219,7 +226,7 @@ class SLOTracker:
                 continue
             good = slo.is_good(obs)
             value = None
-            if slo.metric in ("latency", "runtime", "queue_wait"):
+            if slo.metric in ("latency", "runtime", "queue_wait", "ttfa"):
                 value = getattr(obs, slo.metric)
             for dim, key in (
                 ("command", command), ("tenant", tenant), ("all", "all")
@@ -244,6 +251,7 @@ class SLOTracker:
             degraded=result.degraded,
             tenant=tenant,
             queue_wait=getattr(result, "queue_wait_s", 0.0),
+            ttfa=getattr(result, "ttfa_s", None),
         )
 
     # -------------------------------------------------------- evaluation
@@ -336,6 +344,9 @@ def default_slos(criteria=None) -> list[SLODefinition]:
 
     * ``interactive-response``: first feedback within the ~100 ms
       maximum system response time for every command class;
+    * ``interactive-first-frame``: a *complete* first approximation
+      (TTFA) within the same response budget — the bound progressive
+      streaming exists to meet;
     * ``complete-results``: commands must not serve degraded (partial)
       merges — the share-loss rate from :mod:`repro.faults` recovery.
     """
@@ -350,6 +361,15 @@ def default_slos(criteria=None) -> list[SLODefinition]:
             target=0.95,
             command_class="*",
             description="submit → first data within the VR response budget",
+        ),
+        SLODefinition(
+            name="interactive-first-frame",
+            metric="ttfa",
+            threshold=criteria.max_response_time_s,
+            target=0.95,
+            command_class="*",
+            description="submit → first complete approximation (TTFA) "
+                        "within the VR response budget",
         ),
         SLODefinition(
             name="complete-results",

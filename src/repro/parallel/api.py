@@ -137,6 +137,10 @@ class ParallelExtractor:
         #: collapsed stacks aggregated across all shares of all runs.
         self.folded: dict[str, int] = {}
         self._pool: ProcessWorkerPool | None = None
+        #: serial-executor runner, kept across run() calls so its
+        #: ComputeCached memo (e.g. progressive pyramids) survives
+        #: interactive re-extraction with new parameters.
+        self._serial_runner: DirectRunner | None = None
         self._closed = False
 
     # ------------------------------------------------------------ context
@@ -204,11 +208,13 @@ class ParallelExtractor:
     def _run_serial(
         self, cmd: Command, ctx: CommandContext, assignments: Sequence[Any]
     ) -> list[ShareResult]:
-        runner = DirectRunner(
-            lambda item: self.store.get_block(
-                int(item.param("time")), int(item.param("block"))
+        if self._serial_runner is None:
+            self._serial_runner = DirectRunner(
+                lambda item: self.store.get_block(
+                    int(item.param("time")), int(item.param("block"))
+                )
             )
-        )
+        runner = self._serial_runner
         results: list[ShareResult] = []
         for i, assignment in enumerate(assignments):
             sampler = None

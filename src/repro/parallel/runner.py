@@ -16,7 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from ..core.commands import Command, CommandContext, Compute, Emit, Load, Prefetch
+from ..core.commands import (
+    Command,
+    CommandContext,
+    Compute,
+    ComputeCached,
+    Emit,
+    Load,
+    Prefetch,
+)
 from ..dms.items import ItemName
 
 __all__ = ["DirectRunner", "ShareRun"]
@@ -40,6 +48,9 @@ class DirectRunner:
 
     def __init__(self, provider: Callable[[ItemName], Any]):
         self.provider = provider
+        #: runner-local memo for ComputeCached results; providers only
+        #: understand block items, so derived items never hit them.
+        self._derived: dict[ItemName, Any] = {}
 
     def run_share(
         self,
@@ -65,8 +76,16 @@ class DirectRunner:
                 run.n_computes += 1
                 if op.fn is not None:
                     result = op.fn()
+            elif isinstance(op, ComputeCached):
+                result = self._derived.get(op.item)
+                if result is None and op.fn is not None:
+                    result = self._derived[op.item] = op.fn()
+                    run.n_computes += 1
             elif isinstance(op, Emit):
-                run.payloads.append(op.payload)
+                # Payload-free emits (e.g. progressive "approximation"
+                # markers) are runtime signals, not results.
+                if op.payload is not None:
+                    run.payloads.append(op.payload)
                 run.n_emits += 1
                 run.emitted_nbytes += int(op.nbytes)
             elif isinstance(op, Prefetch):

@@ -245,6 +245,24 @@ class SessionBackend:
         self.executed += 1
         return record
 
+    def request_cancel(self, handle: ServeHandle) -> bool:
+        """Cooperative cancellation for a *running* command.
+
+        The session backend cannot interrupt the scheduler mid-command
+        (``can_interrupt`` is False), but a progressive command carries
+        a :class:`~repro.commands.progressive.RefinementControl` token
+        in ``params["control"]``; flipping it makes the command stop
+        refining at its next check, so the viewer keeps the coarse
+        approximation and the slot frees early.  Returns whether a
+        token was found and flipped.
+        """
+        control = handle.params.get("control")
+        cancel = getattr(control, "cancel", None)
+        if callable(cancel):
+            cancel("serve-cancel")
+            return True
+        return False
+
 
 def serve_slos(
     criteria: Any = None,
@@ -392,6 +410,12 @@ class TenantServer:
         if (self.backend.can_interrupt and handle.proc is not None
                 and handle.proc.is_alive):
             handle.proc.interrupt("cancelled")
+        else:
+            # Non-interruptible backends may still cancel cooperatively
+            # (a progressive command's RefinementControl token).
+            request_cancel = getattr(self.backend, "request_cancel", None)
+            if callable(request_cancel):
+                request_cancel(handle)
         return True
 
     # --------------------------------------------------------- lifecycle

@@ -71,6 +71,18 @@ class FrameRateModel:
         frame_time = self.fixed_frame_cost_s + n_triangles / self.triangles_per_second
         return 1.0 / frame_time
 
+    def triangle_budget(self, target_hz: float) -> int:
+        """Triangles renderable per frame while holding ``target_hz``.
+
+        This is the frame budget a client publishes to the progressive
+        command (``params["frame_budget"]``): refinement packets are
+        paced so one frame's worth of new triangles never exceeds it.
+        """
+        if target_hz <= 0:
+            raise ValueError(f"target_hz must be > 0, got {target_hz}")
+        spare = 1.0 / target_hz - self.fixed_frame_cost_s
+        return max(0, int(spare * self.triangles_per_second))
+
 
 @dataclass
 class PacketRecord:
@@ -80,6 +92,7 @@ class PacketRecord:
     sequence: int
     final: bool
     n_triangles: int = 0
+    kind: str = "geometry"
 
 
 class VisualizationClient:
@@ -182,6 +195,7 @@ class VisualizationClient:
                 sequence=message.sequence,
                 final=message.final,
                 n_triangles=n_tri,
+                kind=getattr(message, "kind", "geometry"),
             )
             self.packets.append(record)
             self.packets_by_request.setdefault(message.request_id, []).append(record)
@@ -215,6 +229,44 @@ class VisualizationClient:
         """Arrival of the first packet that carried actual data."""
         for p in self.packets:
             if p.nbytes > 0 or p.n_triangles > 0:
+                return p.time
+        return None
+
+    def first_data_time_of(self, request_id: int) -> float | None:
+        """Per-request first-data arrival.
+
+        The global :attr:`first_data_time` spans every interleaved
+        request, so concurrent tenants would report each other's
+        latency; this looks only at ``request_id``'s packets.
+        """
+        for p in self.packets_by_request.get(request_id, ()):
+            if p.nbytes > 0 or p.n_triangles > 0:
+                return p.time
+        return None
+
+    def first_approximation_time(
+        self, n_workers: int, request_id: int | None = None
+    ) -> float | None:
+        """When the first *complete* approximation was on screen (TTFA).
+
+        A progressive worker streams a zero-byte ``"approximation"``
+        marker once the coarsest level of all its blocks is out; the
+        first complete approximation exists when every one of the
+        command's ``n_workers`` workers has done so.  Returns the
+        arrival time of the last such marker, or ``None`` when the
+        command is not progressive (no markers at all).
+        """
+        packets = (
+            self.packets
+            if request_id is None
+            else self.packets_by_request.get(request_id, ())
+        )
+        seen: set[int] = set()
+        for p in packets:
+            if p.kind != "approximation":
+                continue
+            seen.add(p.worker_index)
+            if len(seen) >= n_workers:
                 return p.time
         return None
 

@@ -1,0 +1,113 @@
+"""Property tests for multi-resolution pyramids and coarse-to-fine culling.
+
+Two families of invariants keep progressive streaming honest:
+
+* **Pyramid structure** — every level spans the same physical extent as
+  the source block, cell counts grow monotonically from coarse to fine,
+  and :func:`pyramid_level_shapes` predicts the constructed shapes from
+  pure arithmetic (the DMS sizes cached pyramids without building them).
+* **Culling exactness** — :meth:`MultiResPyramid.active_cells` must
+  return *exactly* :func:`active_cell_indices` at every level: the
+  coarse min/max boxes are conservative, and the final 8-corner filter
+  removes every false positive.  Byte-identical finest-level geometry
+  rests on this.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.isosurface import active_cell_indices
+from repro.grids import MultiResPyramid, StructuredBlock
+from repro.grids.multires import modeled_pyramid_nbytes, pyramid_level_shapes
+from repro.grids.summary import box_field_minmax, cell_field_minmax
+from repro.synth import cartesian_lattice, warp_lattice
+
+
+def wavy_block(shape, seed=0, warped=True):
+    coords = cartesian_lattice((0, 0, 0), (1, 1, 1), shape)
+    if warped:
+        coords = warp_lattice(coords, amplitude=0.02)
+    b = StructuredBlock(coords)
+    rng = np.random.default_rng(seed)
+    x = b.coords
+    b.set_field(
+        "s",
+        np.sin(4.0 * x[..., 0]) * np.cos(3.0 * x[..., 1])
+        + 0.5 * x[..., 2]
+        + 0.05 * rng.standard_normal(shape),
+    )
+    return b
+
+
+dims = st.integers(min_value=2, max_value=13)
+
+
+@given(shape=st.tuples(dims, dims, dims), seed=st.integers(0, 31))
+@settings(max_examples=30, deadline=None)
+def test_pyramid_preserves_extent_and_monotone_cells(shape, seed):
+    block = wavy_block(shape, seed=seed)
+    pyramid = MultiResPyramid(block, min_dim=2, max_levels=8)
+    corners = block.coords[
+        np.ix_(*[(0, n - 1) for n in block.shape])
+    ]
+    cells = [lvl.n_cells for lvl in pyramid.levels]
+    for level in pyramid.levels:
+        got = level.coords[np.ix_(*[(0, n - 1) for n in level.shape])]
+        np.testing.assert_array_equal(got, corners)
+    assert cells == sorted(cells)
+    # The finest level is the source block itself, not a copy.
+    assert pyramid.levels[-1].shape == block.shape
+
+
+@given(shape=st.tuples(dims, dims, dims),
+       min_dim=st.integers(2, 5), max_levels=st.integers(1, 6))
+@settings(max_examples=50, deadline=None)
+def test_level_shapes_match_pure_arithmetic(shape, min_dim, max_levels):
+    block = wavy_block(shape, warped=False)
+    pyramid = MultiResPyramid(block, min_dim=min_dim, max_levels=max_levels)
+    predicted = pyramid_level_shapes(shape, min_dim=min_dim,
+                                     max_levels=max_levels)
+    assert [lvl.shape for lvl in pyramid.levels] == predicted
+    assert modeled_pyramid_nbytes(shape, min_dim, max_levels) >= 0.0
+
+
+@given(isovalue=st.floats(min_value=-1.5, max_value=1.5),
+       seed=st.integers(0, 7))
+@settings(max_examples=40, deadline=None)
+def test_culled_active_cells_equal_exact_scan(isovalue, seed):
+    block = wavy_block((11, 9, 12), seed=seed)
+    pyramid = MultiResPyramid(block, min_dim=2, max_levels=4)
+    for level in range(len(pyramid)):
+        stats: dict = {}
+        culled = pyramid.active_cells(level, "s", isovalue, out_stats=stats)
+        exact = active_cell_indices(pyramid.levels[level], "s", isovalue)
+        np.testing.assert_array_equal(culled, exact)
+        # The coarse cull never scans more than the whole level.
+        assert 0 <= stats.get("candidates", 0) <= pyramid.levels[level].n_cells
+
+
+def test_box_minmax_is_conservative():
+    block = wavy_block((9, 9, 9), seed=3)
+    pyramid = MultiResPyramid(block, min_dim=2, max_levels=3)
+    field = block.field("s")
+    maps = pyramid.index_maps(len(pyramid) - 2)
+    lo, hi = box_field_minmax(field, maps)
+    # Boxes cover the whole block and never invert.
+    for axis, idx in enumerate(maps):
+        assert idx[0] == 0 and idx[-1] == block.shape[axis] - 1
+    assert np.all(lo <= hi)
+    assert lo.min() >= field.min() and hi.max() <= field.max()
+
+
+def test_level_range_memoized_and_straddle():
+    block = wavy_block((9, 9, 9))
+    pyramid = MultiResPyramid(block, min_dim=2, max_levels=3)
+    lo, hi = pyramid.level_range(0, "s")
+    assert (lo, hi) == pyramid.level_range(0, "s")  # memo hit
+    assert pyramid.level_straddles(0, "s", (lo + hi) / 2)
+    assert not pyramid.level_straddles(0, "s", hi + 1.0)
+    assert not pyramid.level_straddles(0, "s", lo - 1.0)
+    with pytest.raises(KeyError):
+        pyramid.level_range(0, "nope")

@@ -117,7 +117,7 @@ def test_observe_result_uses_command_result_shape():
     tracker.observe_result(FakeResult())
     rows = tracker.status("command")
     assert {st.slo.name for st in rows} == {
-        "interactive-response", "complete-results"
+        "interactive-response", "interactive-first-frame", "complete-results"
     }
     assert all(st.key == "iso-dataman" for st in rows)
     assert tracker.all_met()
