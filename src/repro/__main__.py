@@ -75,7 +75,8 @@ USAGE = {
     ),
     "extract": (
         "python -m repro extract <cmd> [--data engine|propfan|path-to-store] "
-        "[--workers N] [--executor serial|process] [--precompute] "
+        "[--workers N] [--executor serial|process] "
+        "[--schedule static|dynamic|dynamic+pipeline] [--precompute] "
         "[--flame FILE]"
     ),
     "critical-path": (
@@ -327,10 +328,14 @@ def _extract_main(args: list[str]) -> int:
     if n_workers is None:
         return 2
     executor = str(flags.get("executor", "process"))
-    from .parallel import EXECUTORS, ParallelExtractor
+    from .parallel import EXECUTORS, SCHEDULES, ParallelExtractor
 
     if executor not in EXECUTORS:
         print(f"--executor must be one of {'|'.join(EXECUTORS)}, got {executor!r}")
+        return 2
+    schedule = str(flags.get("schedule", "static"))
+    if schedule not in SCHEDULES:
+        print(f"--schedule must be one of {'|'.join(SCHEDULES)}, got {schedule!r}")
         return 2
     data_name = str(flags.get("data", "engine"))
     if data_name in {"engine", "propfan"}:
@@ -361,15 +366,23 @@ def _extract_main(args: list[str]) -> int:
             n = ext.precompute("lambda2")
             print(f"precomputed lambda2 for {n} blocks "
                   f"({ext.store.nbytes} shared bytes)")
-        res = ext.run(command, params=params)
+        res = ext.run(
+            command,
+            params=params,
+            schedule=schedule if schedule != "static" else None,
+        )
         print(f"== {command} on {data_name} "
-              f"({executor} executor, {res.group_size} workers) ==")
+              f"({executor} executor, {res.group_size} workers, "
+              f"{res.schedule} schedule) ==")
         print(f"wall time:   {res.wall_seconds * 1e3:.1f} ms "
               f"(shares: "
               + ", ".join(f"{s * 1e3:.1f}" for s in res.share_seconds)
               + " ms)")
         print(f"shares:      {len(res.shares)}  payloads: {res.n_payloads}  "
               f"block loads: {res.n_loads}")
+        if res.schedule != "static":
+            print(f"stealing:    {res.steals} steals, "
+                  f"{res.idle_seconds * 1e3:.1f} ms worker idle")
         merged = res.result
         if hasattr(merged, "n_triangles"):
             print(f"result:      mesh with {merged.n_triangles} triangles, "
@@ -631,13 +644,28 @@ def _slo_main(args: list[str]) -> int:
     print("critical-path phase attribution (summed over repeats):")
     for name, entry in current["commands"].items():
         if "phase_seconds" not in entry:
-            # Progressive-TTFA cell: scheduling comparison, not phases.
-            print(
-                f"  {name:20s} warm TTFA level-major "
-                f"{entry['ttfa_level_major_s']:.2f}s vs depth-first "
-                f"{entry['ttfa_depth_first_s']:.2f}s "
-                f"({entry['ttfa_speedup']:.1f}x)"
-            )
+            # Scheduling-comparison cells carry their own keys, not a
+            # phase breakdown; unknown future cells print a key count
+            # instead of crashing the report.
+            if "ttfa_level_major_s" in entry:
+                print(
+                    f"  {name:20s} warm TTFA level-major "
+                    f"{entry['ttfa_level_major_s']:.2f}s vs depth-first "
+                    f"{entry['ttfa_depth_first_s']:.2f}s "
+                    f"({entry['ttfa_speedup']:.1f}x)"
+                )
+            elif "dynamic_speedup" in entry:
+                print(
+                    f"  {name:20s} warm static "
+                    f"{entry['warm_static_s']:.2f}s vs dynamic "
+                    f"{entry['warm_dynamic_s']:.2f}s "
+                    f"({entry['dynamic_speedup']:.2f}x, "
+                    f"{entry['steals_dynamic']} steals, idle "
+                    f"{entry['idle_static_s']:.1f}s -> "
+                    f"{entry['idle_dynamic_s']:.1f}s)"
+                )
+            else:
+                print(f"  {name:20s} ({len(entry)} gated keys)")
             continue
         total = sum(entry["phase_seconds"].values())
         shares = ", ".join(

@@ -24,6 +24,7 @@ from ..core.commands import (
     Emit,
     Load,
     plan_block_assignments,
+    plan_block_tasks,
     split_round_robin,
 )
 
@@ -39,6 +40,9 @@ class CutplaneCommand(Command):
 
     def plan(self, ctx: CommandContext, group_size: int) -> list[Any]:
         return plan_block_assignments(ctx, group_size)
+
+    def plan_tasks(self, ctx: CommandContext) -> list[Any]:
+        return plan_block_tasks(ctx)
 
     def item_sequence_for(self, ctx: CommandContext, assignment: Any):
         return [block_item(ctx.dataset, t, bid) for t, bid in assignment]

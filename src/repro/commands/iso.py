@@ -32,6 +32,7 @@ from ..core.commands import (
     Emit,
     Load,
     plan_block_assignments,
+    plan_block_tasks,
     split_round_robin,
 )
 
@@ -47,6 +48,9 @@ class IsoDataManCommand(Command):
 
     def plan(self, ctx: CommandContext, group_size: int) -> list[Any]:
         return plan_block_assignments(ctx, group_size)
+
+    def plan_tasks(self, ctx: CommandContext) -> list[Any]:
+        return plan_block_tasks(ctx)
 
     def item_sequence_for(self, ctx: CommandContext, assignment: Any):
         return [block_item(ctx.dataset, t, bid) for t, bid in assignment]
@@ -100,6 +104,11 @@ class ViewerIsoCommand(Command):
             )
             work.extend((t, h.block_id) for h in ordered)
         return split_round_robin(work, group_size)
+
+    def plan_tasks(self, ctx: CommandContext) -> list[Any]:
+        # Canonical task order is the front-to-back view order the
+        # single-worker plan visits, one block per task.
+        return [[pair] for pair in self.plan(ctx, 1)[0]]
 
     def item_sequence_for(self, ctx: CommandContext, assignment: Any):
         return [block_item(ctx.dataset, t, bid) for t, bid in assignment]

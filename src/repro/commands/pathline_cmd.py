@@ -51,6 +51,19 @@ class PathlinesDataManCommand(Command):
             raise ValueError("pathline commands need at least one seed")
         return split_round_robin(seeds, group_size)
 
+    def plan_tasks(self, ctx: CommandContext) -> list[Any]:
+        # One task per seed, in seed order.  A singleton batch traces
+        # byte-identically to the same seed inside a larger batch (the
+        # batched tracer's per-particle equivalence pin), so per-seed
+        # stealing preserves every path's bytes and the merged order.
+        return [[seed] for seed in self.plan(ctx, 1)[0]]
+
+    def task_cost(self, ctx: CommandContext, task: Any) -> float:
+        # Seeds have no a-priori cost signal (effort depends on the
+        # trajectory); uniform estimates leave ordering to feedback
+        # from recorded per-seed timings.
+        return 1.0
+
     def item_sequence_for(self, ctx: CommandContext, assignment: Any):
         # The OBL fallback order: file-storage order, time-major.
         return [

@@ -31,6 +31,7 @@ from ..core.commands import (
     Emit,
     Load,
     plan_block_assignments,
+    plan_block_tasks,
     split_round_robin,
 )
 from ..grids.block import StructuredBlock
@@ -47,6 +48,9 @@ class VortexDataManCommand(Command):
 
     def plan(self, ctx: CommandContext, group_size: int) -> list[Any]:
         return plan_block_assignments(ctx, group_size)
+
+    def plan_tasks(self, ctx: CommandContext) -> list[Any]:
+        return plan_block_tasks(ctx)
 
     def item_sequence_for(self, ctx: CommandContext, assignment: Any):
         return [block_item(ctx.dataset, t, bid) for t, bid in assignment]
@@ -105,6 +109,9 @@ class StreamedVortexCommand(Command):
 
     def plan(self, ctx: CommandContext, group_size: int) -> list[Any]:
         return plan_block_assignments(ctx, group_size)
+
+    def plan_tasks(self, ctx: CommandContext) -> list[Any]:
+        return plan_block_tasks(ctx)
 
     def item_sequence_for(self, ctx: CommandContext, assignment: Any):
         return [block_item(ctx.dataset, t, bid) for t, bid in assignment]

@@ -19,7 +19,9 @@ from .commands import (
     Emit,
     Load,
     Prefetch,
+    lpt_order,
     plan_block_assignments,
+    plan_block_tasks,
     split_balanced,
     split_round_robin,
 )
@@ -48,7 +50,9 @@ __all__ = [
     "Emit",
     "Load",
     "Prefetch",
+    "lpt_order",
     "plan_block_assignments",
+    "plan_block_tasks",
     "split_balanced",
     "split_round_robin",
     "Worker",

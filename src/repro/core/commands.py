@@ -40,6 +40,10 @@ __all__ = [
     "Command",
     "CommandRegistry",
     "split_round_robin",
+    "split_balanced",
+    "plan_block_assignments",
+    "plan_block_tasks",
+    "lpt_order",
 ]
 
 
@@ -160,6 +164,45 @@ class Command:
         no meaningful sequential order exists."""
         return None
 
+    def plan_tasks(self, ctx: CommandContext) -> list[Any]:
+        """Split the work into fine-grained tasks for dynamic scheduling.
+
+        Each task is a minimal assignment (drivable by :meth:`run`
+        unchanged) in *canonical* order: the order a single-worker
+        :meth:`plan` would visit the same work.  Dynamic schedulers may
+        execute tasks in any order but must reassemble payloads in this
+        order, which keeps merged output byte-identical to a serial run.
+
+        The default is one coarse task — the whole single-worker share —
+        so commands without a finer split (e.g. the progressive command,
+        whose refinement loop is stateful across blocks) still run under
+        ``schedule="dynamic"``, just without stealing.
+        """
+        return self.plan(ctx, 1)
+
+    def task_cost(self, ctx: CommandContext, task: Any) -> float:
+        """Estimated relative cost of one :meth:`plan_tasks` task.
+
+        Drives LPT (longest-processing-time-first) initial ordering;
+        only relative magnitudes matter.  The default recognizes
+        ``(time_index, block_id)`` block work and sums modeled cell
+        counts; anything else is uniform.
+        """
+        total = 0.0
+        recognized = False
+        try:
+            entries = list(task)
+        except TypeError:
+            return 1.0
+        for entry in entries:
+            try:
+                t, bid = entry
+                total += float(ctx.handle(int(t), int(bid)).modeled_cells)
+                recognized = True
+            except (TypeError, ValueError, KeyError):
+                continue
+        return total if recognized else 1.0
+
     def merge(self, payload_lists: Sequence[Sequence[Any]]) -> Any:
         """Combine the workers' buffered partials into the final result.
 
@@ -197,6 +240,13 @@ def split_balanced(
     balancer: items are assigned heaviest-first to the currently
     lightest worker.  Each share preserves the items' original relative
     order (so sequential prefetching stays meaningful).
+
+    Tie-breaks are pinned so the partition is identical across runs and
+    platforms: equal-weight items are taken in ascending input index
+    (``lpt_order``), and among equally loaded workers the lowest index
+    wins (``list.index`` returns the first minimum).  Both rules are
+    regression-tested; simulated fingerprints and the parallel
+    equivalence suite depend on them.
     """
     if group_size < 1:
         raise ValueError(f"group_size must be >= 1, got {group_size}")
@@ -204,7 +254,7 @@ def split_balanced(
         raise ValueError(
             f"{len(items)} items but {len(weights)} weights"
         )
-    order = sorted(range(len(items)), key=lambda i: -float(weights[i]))
+    order = lpt_order(weights)
     loads = [0.0] * group_size
     picked: list[list[int]] = [[] for _ in range(group_size)]
     for idx in order:
@@ -212,6 +262,18 @@ def split_balanced(
         picked[target].append(idx)
         loads[target] += float(weights[idx])
     return [[items[i] for i in sorted(share)] for share in picked]
+
+
+def lpt_order(weights: Sequence[float]) -> list[int]:
+    """Indices sorted heaviest-first, ties broken by ascending index.
+
+    The shared ordering primitive of the static LPT partition
+    (:func:`split_balanced`) and both dynamic schedulers (DES and
+    :mod:`repro.parallel`): expensive work starts first, and the
+    explicit index tie-break makes the order deterministic for
+    equal-cost items regardless of sort implementation details.
+    """
+    return sorted(range(len(weights)), key=lambda i: (-float(weights[i]), i))
 
 
 def plan_block_assignments(ctx: CommandContext, group_size: int) -> list[list[Any]]:
@@ -231,6 +293,20 @@ def plan_block_assignments(ctx: CommandContext, group_size: int) -> list[list[An
         weights = [ctx.handle(t, b).modeled_cells for t, b in work]
         return split_balanced(work, weights, group_size)
     return split_round_robin(work, group_size)
+
+
+def plan_block_tasks(ctx: CommandContext) -> list[list[Any]]:
+    """One dynamic-scheduling task per ``(time_index, block_id)``.
+
+    Canonical order is time-major block order — exactly the order a
+    single :func:`plan_block_assignments` share visits, so payloads
+    reassembled in task order merge byte-identically to a serial run.
+    """
+    return [
+        [(t, h.block_id)]
+        for t in ctx.time_indices
+        for h in ctx.handles_by_time[t - ctx.time_offset]
+    ]
 
 
 class CommandRegistry:

@@ -10,6 +10,7 @@ workers transmit directly and the scheduler only signals completion.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Generator
 
@@ -20,12 +21,20 @@ from ..dms.proxy import DataProxy, DMSConfig
 from ..dms.server import DataManagerServer
 from ..dms.source import BlockSource
 from .channels import Mailbox, SimMPIChannel, SimTCPChannel
-from .commands import Command, CommandContext, CommandRegistry
+from .commands import Command, CommandContext, CommandRegistry, lpt_order
 from .costs import CostModel, DEFAULT_COSTS
 from .messages import ResultPacket, WorkAssignment, WorkerDone
 from .worker import Worker, WorkerShare, WorkerUnavailable
 
 __all__ = ["RecoveryPolicy", "RunRecord", "Scheduler", "ShareOutcome"]
+
+#: ``params["schedule"]`` values that switch a command to the dynamic
+#: work-stealing path.  Mirrors the direct executor's
+#: ``repro.parallel.dynamic.DYNAMIC_SCHEDULES`` (kept as a literal here
+#: so the simulation core does not import the multiprocessing layer).
+#: Anything else — including other commands' private schedule params
+#: such as the progressive command's "level-major" — stays static.
+_DYNAMIC_SCHEDULES = ("dynamic", "dynamic+pipeline")
 
 
 @dataclass(frozen=True)
@@ -86,6 +95,11 @@ class RunRecord:
     queue_wait_s: float = 0.0
     #: originating tenant when submitted through the serving layer.
     tenant: str = "default"
+    #: simulated seconds workers spent waiting on the run tail (dynamic
+    #: runs; always 0.0 on the static path, so fingerprints are stable).
+    idle_seconds: float = 0.0
+    #: tasks executed beyond static fair shares (dynamic runs only).
+    steals: int = 0
 
     @property
     def runtime(self) -> float:
@@ -279,10 +293,16 @@ class Scheduler:
                 **extra,
             )
         try:
-            record = yield from self._run_on_group(
-                command, name, params, worker_ids, client_mailbox, request_id,
-                record, command_span=cspan,
-            )
+            if str(params.get("schedule", "static")) in _DYNAMIC_SCHEDULES:
+                record = yield from self._run_dynamic_on_group(
+                    command, name, params, worker_ids, client_mailbox,
+                    request_id, record, command_span=cspan,
+                )
+            else:
+                record = yield from self._run_on_group(
+                    command, name, params, worker_ids, client_mailbox,
+                    request_id, record, command_span=cspan,
+                )
         finally:
             if cspan is not None:
                 self.tracer.end(cspan)
@@ -416,6 +436,199 @@ class Scheduler:
                 )
             yield from master.node.compute(self.costs.merge_per_byte * total_nbytes)
             merged = command.merge(collected)
+            if mspan is not None:
+                self.tracer.end(mspan)
+            record.merged = merged
+            final = ResultPacket(
+                request_id=request_id,
+                worker_index=0,
+                sequence=0,
+                payload=merged,
+                nbytes=total_nbytes,
+                final=True,
+            )
+            fspan = None
+            if self.tracer is not None:
+                fspan = self.tracer.begin(
+                    "stream-packet", name="final", node=master.node.node_id,
+                    parent=command_span, nbytes=total_nbytes, final=True,
+                )
+            yield from self.tcp.send(master.node, final, client_mailbox)
+            if fspan is not None:
+                self.tracer.end(fspan)
+
+        record.t_end = self.env.now
+        self.history.append(record)
+        if self.trace is not None:
+            self.trace.record(
+                self.env.now, 0, "command-end",
+                request=request_id, command=name,
+            )
+        return record
+
+    def _run_dynamic_on_group(
+        self,
+        command: Command,
+        name: str,
+        params: dict[str, Any],
+        worker_ids,
+        client_mailbox: Mailbox,
+        request_id: int,
+        record: RunRecord,
+        command_span=None,
+    ) -> Generator[Event, None, RunRecord]:
+        """Work-stealing mirror of :meth:`_run_on_group`.
+
+        The command's plan is broken into fine-grained tasks
+        (:meth:`Command.plan_tasks`) ordered heaviest-first by the cost
+        model; workers *drain* them in batches off a shared position —
+        each batch dispatched as its own :class:`WorkAssignment` over
+        the fabric — so a worker that finishes early claims what a
+        static split would have stranded on a straggler.  Payloads are
+        keyed by canonical task index and merged in canonical order, so
+        the merged result is byte-identical to the static path.  With
+        ``"dynamic+pipeline"`` the next task's blocks are code-prefetched
+        through the worker's proxy while the current task computes.
+        """
+        if self.recovery is not None:
+            raise RuntimeError(
+                "dynamic scheduling does not compose with a RecoveryPolicy; "
+                "use the default static schedule for supervised runs"
+            )
+        group_size = len(worker_ids)
+        sched_node = self.cluster.scheduler_node
+        ctx = self._context(params)
+        group = [self.workers[wid] for wid in worker_ids]
+        pipeline = str(params.get("schedule")) == "dynamic+pipeline"
+        tasks = command.plan_tasks(ctx)
+        n_tasks = len(tasks)
+        estimates = [command.task_cost(ctx, task) for task in tasks]
+        order = lpt_order(estimates)
+        batch = max(
+            1, int(params.get("steal_batch", max(1, n_tasks // (group_size * 4))))
+        )
+        fair_share = math.ceil(n_tasks / group_size)
+        # Sequence-based prefetchers get an empty assignment (the drain
+        # order is unknown until runtime); the Markov prefetcher still
+        # learns from the observed request stream.  With pipelining each
+        # claimed batch becomes the worker's prefetch sequence below.
+        self._install_prefetchers(command, ctx, [[] for _ in group], group)
+        pf_spec = ctx.params.get("prefetch", command.prefetcher_spec(ctx))
+        pf_kwargs = (
+            {"width": int(ctx.params.get("prefetch_width", 1))}
+            if pf_spec == "markov+obl"
+            else {}
+        )
+        master_mailbox = Mailbox(self.env, name=f"master-{request_id}")
+        pos = [0]  # shared ticket position; claim+advance is atomic
+        # (no yield between read and update in the cooperative kernel).
+        task_payloads: list[list[Any] | None] = [None] * n_tasks
+        finish_times = [record.t_start] * group_size
+        steal_counts = [0] * group_size
+
+        def drain(worker: Worker, widx: int):
+            agg = WorkerShare(worker_index=widx)
+            executed = 0
+            while pos[0] < n_tasks:
+                lo = pos[0]
+                hi = min(lo + batch, n_tasks)
+                pos[0] = hi
+                claimed = [order[p] for p in range(lo, hi)]
+                message = WorkAssignment(
+                    request_id=request_id,
+                    command=name,
+                    params=ctx.params,
+                    worker_index=widx,
+                    group_size=group_size,
+                    assignment=[tasks[t] for t in claimed],
+                )
+                yield from self.mpi.send(sched_node, message, worker.mailbox)
+                if pipeline and pf_spec not in ("none", "block-markov"):
+                    # Load/compute pipelining: the worker now knows its
+                    # claimed batch, so the system prefetcher can stage
+                    # upcoming blocks while the current task computes —
+                    # the DES mirror of the direct path's BlockPipeline.
+                    seq = [
+                        item
+                        for t in claimed
+                        for item in (command.item_sequence_for(ctx, tasks[t]) or [])
+                    ]
+                    worker.proxy.prefetcher = make_prefetcher(
+                        pf_spec, SequenceOrder(seq), **pf_kwargs
+                    )
+                for tidx in claimed:
+                    share = yield from worker.execute(
+                        command, ctx, tasks[tidx], widx, request_id,
+                        client_mailbox, parent_span=command_span,
+                    )
+                    task_payloads[tidx] = list(share.payloads)
+                    agg.payloads.extend(share.payloads)
+                    agg.nbytes += share.nbytes
+                    agg.packets_streamed += share.packets_streamed
+                    agg.load_seconds += share.load_seconds
+                    agg.compute_seconds += share.compute_seconds
+                    agg.stream_seconds += share.stream_seconds
+                    executed += 1
+                    if executed > fair_share:
+                        steal_counts[widx] += 1
+            finish_times[widx] = self.env.now
+            return agg
+
+        procs = [
+            self.env.process(drain(worker, widx), name=f"drain{widx}-{name}")
+            for widx, worker in enumerate(group)
+        ]
+        results = yield AllOf(self.env, procs)
+        shares = [results[p] for p in procs]
+        record.shares = shares
+        record.steals = sum(steal_counts)
+        t_drained = self.env.now
+        record.idle_seconds = sum(t_drained - ft for ft in finish_times)
+
+        master = group[0]
+        if command.streaming:
+            final = ResultPacket(
+                request_id=request_id,
+                worker_index=0,
+                sequence=sum(s.packets_streamed for s in shares),
+                payload=None,
+                nbytes=0,
+                final=True,
+            )
+            fspan = None
+            if self.tracer is not None:
+                fspan = self.tracer.begin(
+                    "stream-packet", name="final", node=master.node.node_id,
+                    parent=command_span, nbytes=0, final=True,
+                )
+            yield from self.tcp.send(master.node, final, client_mailbox)
+            if fspan is not None:
+                self.tracer.end(fspan)
+        else:
+            # Ship non-master aggregates to the master (charges the
+            # fabric for exactly the payloads each worker produced).
+            for share, worker in zip(shares[1:], group[1:]):
+                yield from worker.send_share_to_master(
+                    share, request_id, master_mailbox, parent_span=command_span,
+                )
+            for _ in shares[1:]:
+                message = yield master_mailbox.get()
+                assert isinstance(message, WorkerDone)
+            missing = [i for i, p in enumerate(task_payloads) if p is None]
+            if missing:
+                raise RuntimeError(
+                    f"dynamic run left tasks unexecuted: {missing}"
+                )
+            total_nbytes = sum(s.nbytes for s in shares)
+            mspan = None
+            if self.tracer is not None:
+                mspan = self.tracer.begin(
+                    "merge", name=name, node=master.node.node_id,
+                    parent=command_span, nbytes=total_nbytes,
+                    n_shares=len(shares),
+                )
+            yield from master.node.compute(self.costs.merge_per_byte * total_nbytes)
+            merged = command.merge([list(p) for p in task_payloads])
             if mspan is not None:
                 self.tracer.end(mspan)
             record.merged = merged

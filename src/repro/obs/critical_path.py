@@ -14,7 +14,8 @@ latency budget?*  For every completed command it
 3. attributes every segment of wall clock to a fixed phase taxonomy
    (:data:`PHASES`), so the per-phase seconds sum to the command's
    wall time (coverage is 1.0 by construction when the root span
-   brackets the run).
+   brackets the run; off-path worker-idle seconds are added to the
+   ``queue`` phase on top, so runs with heavy imbalance can exceed it).
 
 The critical path through a fork-join DAG is found per join point: at
 any instant the path follows the child span that ended *last* before
@@ -72,7 +73,17 @@ _SELF_PHASE = {
     "parallel-run": "queue",        # plan + fan-out + result collection
     "parallel-share": "compute",
     "parallel-precompute": "compute",
+    "parallel-idle": "queue",       # worker claim waits + run-tail idle
 }
+
+#: span kinds excluded from the critical-path chain competition.  Idle
+#: intervals end exactly at the run tail, so letting them compete would
+#: displace the straggler's real compute from the path; their seconds
+#: are instead folded into the ``queue`` phase additively (see
+#: :func:`analyze_spans`), which can push coverage above 1.0 on runs
+#: with substantial worker idling — deliberately: imbalance *is* extra
+#: latency an operator should see.
+_OFF_PATH_KINDS = frozenset({"parallel-idle"})
 
 #: zero-duration fault markers whose presence re-labels an enclosing
 #: scheduler-side gap as recovery time.
@@ -112,7 +123,14 @@ class CriticalPathReport:
 
     @property
     def covered(self) -> float:
-        return sum(self.phase_seconds.values())
+        """On-path seconds: the chain of segments the finish waited on.
+
+        Off-path worker idle is folded into ``phase_seconds["queue"]``
+        additively but is *not* path coverage — the finish never waited
+        on an idle worker — so it is excluded here to keep
+        ``coverage == 1.0`` by construction for bracketed runs.
+        """
+        return sum(s.duration for s in self.segments)
 
     @property
     def coverage(self) -> float:
@@ -128,7 +146,7 @@ class CriticalPathReport:
         return max(self.phase_seconds.items(), key=lambda kv: kv[1])[0]
 
     def fractions(self) -> dict[str, float]:
-        total = self.covered
+        total = sum(self.phase_seconds.values())
         if total <= 0:
             return {p: 0.0 for p in PHASES}
         return {p: self.phase_seconds.get(p, 0.0) / total for p in PHASES}
@@ -199,7 +217,7 @@ def critical_segments(
     kids = [
         c for c in children.get(root.span_id, ())
         if c.t_end is not None and c.t_end > t_lo and c.t_start < t_hi
-        and c.duration > 0.0
+        and c.duration > 0.0 and c.kind not in _OFF_PATH_KINDS
     ]
     kids.sort(key=lambda c: (c.t_end, c.t_start))
     out: list[tuple[float, float, Span]] = []
@@ -300,6 +318,17 @@ def analyze_spans(
         phase = phase_of_segment(span, t0, t1, markers)
         segments.append(PhaseSegment(t0, t1, phase, span))
         phase_seconds[phase] = phase_seconds.get(phase, 0.0) + (t1 - t0)
+    # Worker idle (claim waits + run tails) is off-path by design; its
+    # seconds are charged to the queue phase additively so imbalance
+    # shows up in the breakdown without displacing the straggler's
+    # compute from the critical chain.
+    idle_total = sum(
+        float(s.attrs.get("idle_s", s.duration))
+        for s in finished
+        if s.kind in _OFF_PATH_KINDS
+    )
+    if idle_total > 0.0:
+        phase_seconds["queue"] = phase_seconds.get("queue", 0.0) + idle_total
     name = command
     if name is None:
         name = root.attrs.get("command") or root.name

@@ -183,6 +183,7 @@ def measure(
             data, workers
         )
         per_command["progressive-ttfa"] = _measure_ttfa_cell(data, workers)
+        per_command["dynamic-schedule"] = _measure_dynamic_cell(data, workers)
     slo_rollup: dict[str, Any] = {}
     for st in tracker.status("command"):
         slo_rollup.setdefault(st.slo.name, {})[st.key] = {
@@ -323,6 +324,83 @@ def _measure_ttfa_cell(data: str, workers: int) -> dict[str, Any]:
     }
 
 
+def _worker_idle_seconds(result: Any) -> float:
+    """Worker imbalance from one result's span slice: the simulated
+    seconds workers spent finished while the slowest one still ran
+    (``Σ over workers of (last worker end − this worker's end)``)."""
+    ends: dict[Any, float] = {}
+    for span in result.spans:
+        if span.kind != "worker" or span.t_end is None:
+            continue
+        wid = span.attrs.get("worker")
+        ends[wid] = max(ends.get(wid, 0.0), span.t_end)
+    if len(ends) < 2:
+        return 0.0
+    t_max = max(ends.values())
+    return sum(t_max - t for t in ends.values())
+
+
+def _measure_dynamic_cell(data: str, workers: int) -> dict[str, Any]:
+    """One dynamic-scheduling cell: static vs work-stealing vs stealing
+    with load/compute pipelining, in simulated seconds.
+
+    Each schedule gets a fresh session and runs iso extraction twice: a
+    cold pass (fileserver-bound — every block pays its compulsory load,
+    so all schedules are bottlenecked alike) and a warm pass at a new
+    isovalue — the interactive re-extraction loop, where cached blocks
+    make compute the whole story and the static split's fraction-driven
+    imbalance is exactly what stealing erases.  ``base_resolution=8``
+    gives the blocks enough cells for compute to dominate warm.
+
+    Gated in :func:`compare`: runtimes and idle seconds within the
+    tolerance bands, plus a *directional* floor on the warm speedup of
+    dynamic over static — a scheduler regression that drifts back
+    toward static tail latency flips ``repro slo --check`` to exit 1.
+    """
+    from ..bench.calibration import paper_cluster, paper_costs
+    from ..core.session import ViracochaSession
+    from ..faults.chaos import trace_fingerprint
+    from ..synth import build_engine, build_propfan
+
+    builders = {"engine": build_engine, "propfan": build_propfan}
+    base = {"scalar": "pressure", "time_range": (0, 1)}
+    fingerprints: list[str] = []
+    out: dict[str, Any] = {}
+    for schedule, tag in (
+        ("static", "static"),
+        ("dynamic", "dynamic"),
+        ("dynamic+pipeline", "pipeline"),
+    ):
+        dataset = builders[data](base_resolution=8, n_timesteps=1)
+        session = ViracochaSession(
+            dataset,
+            cluster_config=paper_cluster(workers),
+            costs=paper_costs(),
+        )
+        params = dict(base)
+        if schedule != "static":
+            params["schedule"] = schedule
+        cold = session.run(
+            "iso-dataman", params=dict(params, isovalue=-0.3), group_size=workers
+        )
+        warm = session.run(
+            "iso-dataman", params=dict(params, isovalue=-0.1), group_size=workers
+        )
+        fingerprints.extend([trace_fingerprint(cold), trace_fingerprint(warm)])
+        record = session.scheduler.history[-1]
+        out[f"cold_{tag}_s"] = session.scheduler.history[-2].runtime
+        out[f"warm_{tag}_s"] = record.runtime
+        out[f"idle_{tag}_s"] = _worker_idle_seconds(warm)
+        out[f"steals_{tag}"] = record.steals
+    warm_static = out["warm_static_s"]
+    warm_dynamic = out["warm_dynamic_s"]
+    out["fingerprints"] = fingerprints
+    out["dynamic_speedup"] = (
+        (warm_static / warm_dynamic) if warm_dynamic > 0 else None
+    )
+    return out
+
+
 def strip_runtime(current: dict[str, Any]) -> dict[str, Any]:
     """Drop the live session/tracker handles for JSON serialization."""
     return {k: v for k, v in current.items() if not k.startswith("_")}
@@ -377,6 +455,28 @@ def compare(
             if c < b * (1.0 - tol.rel):
                 problems.append(
                     f"{name}: TTFA speedup over depth-first fell "
+                    f"{b:.2f}x -> {c:.2f}x (floor {b * (1.0 - tol.rel):.2f}x)"
+                )
+            continue
+        if "dynamic_speedup" in base:
+            # Dynamic-scheduling cell: band the simulated runtimes and
+            # idle seconds, and gate the warm dynamic-over-static
+            # speedup *directionally* — stealing regressing toward
+            # static tail latency is a failure even inside the bands.
+            for key, value in base.items():
+                if not (key.endswith("_s") or key.startswith("steals_")):
+                    continue
+                b, c = float(value), float(cur.get(key, 0.0))
+                if not _close(b, c, tol.rel, tol.abs_s):
+                    problems.append(
+                        f"{name}: {key} moved {b:.6f} -> {c:.6f} "
+                        f"(tolerance ±{tol.rel:.0%} / {tol.abs_s})"
+                    )
+            b = base.get("dynamic_speedup") or 0.0
+            c = cur.get("dynamic_speedup") or 0.0
+            if c < b * (1.0 - tol.rel):
+                problems.append(
+                    f"{name}: warm dynamic-over-static speedup fell "
                     f"{b:.2f}x -> {c:.2f}x (floor {b * (1.0 - tol.rel):.2f}x)"
                 )
             continue

@@ -11,15 +11,21 @@ on-disk layout, zero-copy lazy views in every process);
 executors by construction.
 """
 
-from .api import EXECUTORS, ParallelExtractor, ParallelResult
+from .api import EXECUTORS, SCHEDULES, ParallelExtractor, ParallelResult
+from .dynamic import CostFeedback, TaskResult
+from .pipeline import BlockPipeline
 from .pool import ProcessWorkerPool, ShareResult, WorkerPoolError, pick_start_method
 from .runner import DirectRunner, ShareRun
 from .shm import ShmBlockStore
 
 __all__ = [
     "EXECUTORS",
+    "SCHEDULES",
     "ParallelExtractor",
     "ParallelResult",
+    "BlockPipeline",
+    "CostFeedback",
+    "TaskResult",
     "ProcessWorkerPool",
     "ShareResult",
     "WorkerPoolError",

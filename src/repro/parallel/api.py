@@ -23,18 +23,21 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from ..core.commands import Command, CommandContext, CommandRegistry
+from ..core.commands import Command, CommandContext, CommandRegistry, lpt_order
 from ..core.costs import DEFAULT_COSTS, CostModel
 from ..io.dataset_io import DatasetStore
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import SpanTracer
+from .dynamic import CostFeedback, TaskResult, is_dynamic, payload_lists
+from .pipeline import BlockPipeline
 from .pool import ProcessWorkerPool, ShareResult, pick_start_method
 from .runner import DirectRunner, ShareRun
 from .shm import ShmBlockStore
 
-__all__ = ["ParallelExtractor", "ParallelResult", "EXECUTORS"]
+__all__ = ["ParallelExtractor", "ParallelResult", "EXECUTORS", "SCHEDULES"]
 
 EXECUTORS = ("serial", "process")
+SCHEDULES = ("static", "dynamic", "dynamic+pipeline")
 
 
 @dataclass
@@ -47,6 +50,7 @@ class ParallelResult:
     result: Any
     shares: list[ShareResult] = field(default_factory=list)
     wall_seconds: float = 0.0
+    schedule: str = "static"
 
     @property
     def n_payloads(self) -> int:
@@ -59,6 +63,16 @@ class ParallelResult:
     @property
     def share_seconds(self) -> list[float]:
         return [s.seconds for s in self.shares]
+
+    @property
+    def idle_seconds(self) -> float:
+        """Total worker idle (claim-lock waits plus post-drain tails)."""
+        return sum(s.idle_s for s in self.shares)
+
+    @property
+    def steals(self) -> int:
+        """Tasks executed beyond static fair shares, summed over workers."""
+        return sum(s.steals for s in self.shares)
 
 
 def _as_shm_store(data: Any, time_indices: Iterable[int] | None) -> tuple[ShmBlockStore, bool]:
@@ -141,6 +155,10 @@ class ParallelExtractor:
         #: ComputeCached memo (e.g. progressive pyramids) survives
         #: interactive re-extraction with new parameters.
         self._serial_runner: DirectRunner | None = None
+        #: measured per-task costs from prior dynamic runs; like the
+        #: serial runner's memo it lives as long as the extractor, so a
+        #: parameter sweep's second run places work from real timings.
+        self.cost_feedback = CostFeedback()
         self._closed = False
 
     # ------------------------------------------------------------ context
@@ -170,11 +188,27 @@ class ParallelExtractor:
         command: str | Command,
         params: dict[str, Any] | None = None,
         group_size: int | None = None,
+        schedule: str | None = None,
         **command_kwargs: Any,
     ) -> ParallelResult:
-        """Plan, execute and merge one command; see module docstring."""
+        """Plan, execute and merge one command; see module docstring.
+
+        ``schedule`` (also accepted as ``params["schedule"]``) selects
+        the execution strategy: the default ``"static"`` pre-splits one
+        share per worker exactly like the DES scheduler; ``"dynamic"``
+        drains fine-grained :meth:`~Command.plan_tasks` tasks from a
+        shared counter in LPT order (work stealing + cost-feedback
+        placement); ``"dynamic+pipeline"`` additionally double-buffers
+        block materialization against extraction.  Merged bytes are
+        identical across all three.  Values other than these three are
+        left alone for commands with private ``schedule`` params (the
+        progressive command's ``"level-major"``).
+        """
         self._check_open()
         params = dict(params or {})
+        if schedule is not None:
+            params["schedule"] = schedule
+        sched = params.get("schedule", "static")
         if isinstance(command, str):
             cmd = self.registry.create(command, **command_kwargs)
         else:
@@ -183,16 +217,30 @@ class ParallelExtractor:
             cmd = command
         group = group_size if group_size is not None else self.workers
         ctx = self._context(params)
-        assignments = cmd.plan(ctx, group)
+        dynamic = is_dynamic(sched)
         run_span = self.tracer.begin(
-            "parallel-run", cmd.name, executor=self.executor, group_size=group
+            "parallel-run",
+            cmd.name,
+            executor=self.executor,
+            group_size=group,
+            schedule=str(sched) if dynamic else "static",
         )
         t0 = time.perf_counter()
-        if self.executor == "process":
-            results = self._run_process(cmd, ctx, assignments)
+        if dynamic:
+            merged, results = self._run_dynamic(cmd, ctx, group, str(sched))
         else:
-            results = self._run_serial(cmd, ctx, assignments)
-        merged = cmd.merge([list(r.payloads) for r in results])
+            assignments = cmd.plan(ctx, group)
+            if self.executor == "process":
+                results = self._run_process(cmd, ctx, assignments)
+            else:
+                results = self._run_serial(cmd, ctx, assignments)
+            merged = cmd.merge([list(r.payloads) for r in results])
+        if self.executor == "process" and results:
+            # Tail idle: a worker is done when its share/drain ends but
+            # the run lasts until the slowest one finishes.
+            t_max = max(r.t_end for r in results)
+            for res in results:
+                res.idle_s += t_max - res.t_end
         wall = time.perf_counter() - t0
         self.tracer.end(run_span, n_shares=len(results))
         self._record(cmd.name, results, wall, run_span)
@@ -203,7 +251,95 @@ class ParallelExtractor:
             result=merged,
             shares=results,
             wall_seconds=wall,
+            schedule=str(sched) if dynamic else "static",
         )
+
+    def _run_dynamic(
+        self, cmd: Command, ctx: CommandContext, group: int, sched: str
+    ) -> tuple[Any, list[ShareResult]]:
+        """Work-stealing execution: LPT-ordered tasks, canonical merge."""
+        tasks = cmd.plan_tasks(ctx)
+        estimates = self.cost_feedback.estimates(cmd, ctx, tasks)
+        order = lpt_order(estimates)
+        pipeline = sched == "dynamic+pipeline"
+        if self.executor == "process":
+            results = self._ensure_pool().run_tasks(
+                cmd, ctx, tasks, order, pipeline=pipeline
+            )
+        else:
+            results = self._run_serial_dynamic(cmd, ctx, tasks, order, pipeline)
+        records = [rec for res in results for rec in (res.tasks or [])]
+        self.cost_feedback.record(cmd.name, records, len(tasks))
+        merged = cmd.merge(payload_lists(records, len(tasks)))
+        return merged, results
+
+    def _run_serial_dynamic(
+        self,
+        cmd: Command,
+        ctx: CommandContext,
+        tasks: Sequence[Any],
+        order: Sequence[int],
+        pipeline: bool,
+    ) -> list[ShareResult]:
+        """One in-process drain: same task order and merge keys as the
+        pool path, so serial dynamic is its byte-identical reference."""
+        provider = lambda item: self.store.get_block(
+            int(item.param("time")), int(item.param("block"))
+        )
+        pl = BlockPipeline(provider) if pipeline else None
+        runner = DirectRunner(provider, pipeline=pl)
+        records: list[TaskResult] = []
+        payloads: list[Any] = []
+        n_loads = n_computes = n_emits = emitted_nbytes = 0
+        t_run0 = time.perf_counter()
+        try:
+            for qpos, pos in enumerate(order):
+                if pl is not None:
+                    # Current task's items first (FIFO pending order),
+                    # then the next task's so the background thread can
+                    # work one block ahead.
+                    pl.schedule(cmd.item_sequence_for(ctx, tasks[pos]))
+                    if qpos + 1 < len(order):
+                        pl.schedule(
+                            cmd.item_sequence_for(ctx, tasks[order[qpos + 1]])
+                        )
+                t0 = time.perf_counter()
+                run: ShareRun = runner.run_share(cmd, ctx, tasks[pos], 0)
+                t1 = time.perf_counter()
+                records.append(
+                    TaskResult(
+                        task_index=pos,
+                        payloads=run.payloads,
+                        n_loads=run.n_loads,
+                        n_computes=run.n_computes,
+                        n_emits=run.n_emits,
+                        emitted_nbytes=run.emitted_nbytes,
+                        seconds=t1 - t0,
+                    )
+                )
+                payloads.extend(run.payloads)
+                n_loads += run.n_loads
+                n_computes += run.n_computes
+                n_emits += run.n_emits
+                emitted_nbytes += run.emitted_nbytes
+        finally:
+            if pl is not None:
+                pl.close()
+        t_run1 = time.perf_counter()
+        return [
+            ShareResult(
+                share_index=0,
+                payloads=payloads,
+                n_loads=n_loads,
+                n_computes=n_computes,
+                n_emits=n_emits,
+                emitted_nbytes=emitted_nbytes,
+                t_start=t_run0,
+                t_end=t_run1,
+                pid=os.getpid(),
+                tasks=records,
+            )
+        ]
 
     def _run_serial(
         self, cmd: Command, ctx: CommandContext, assignments: Sequence[Any]
@@ -303,10 +439,23 @@ class ParallelExtractor:
         seconds = self.metrics.histogram(
             "parallel_share_seconds", labels=labels, help="per-share wall seconds"
         )
+        idle = self.metrics.counter(
+            "viracocha_parallel_idle_seconds_total",
+            labels,
+            help="seconds workers spent idle (claim waits + run tails)",
+        )
+        steals = self.metrics.counter(
+            "viracocha_parallel_steals_total",
+            labels,
+            help="tasks executed beyond a worker's static fair share",
+        )
+        t_max = max((r.t_end for r in results), default=0.0)
         for res in results:
             shares.inc()
             loads.inc(res.n_loads)
             seconds.observe(res.seconds)
+            idle.inc(res.idle_s)
+            steals.inc(res.steals)
             if res.folded:
                 from ..obs.profiling import merge_folded
 
@@ -322,6 +471,19 @@ class ParallelExtractor:
                 n_loads=res.n_loads,
                 n_emits=res.n_emits,
             )
+            if res.idle_s > 0.0:
+                # Anchored at the run tail (duration is what the
+                # critical path folds into the queue phase).
+                self.tracer.record_interval(
+                    "parallel-idle",
+                    f"{command}/share{res.share_index}",
+                    t_start=max(t_max - res.idle_s, res.t_start),
+                    t_end=t_max,
+                    node=res.share_index,
+                    parent=run_span,
+                    idle_s=res.idle_s,
+                    steals=res.steals,
+                )
         self.metrics.histogram(
             "parallel_run_seconds", labels=labels, help="whole-run wall seconds"
         ).observe(wall)

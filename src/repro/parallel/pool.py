@@ -21,8 +21,10 @@ command propagate unchanged.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -30,6 +32,8 @@ from typing import Any, Sequence
 
 from ..core.commands import Command, CommandContext
 from ..dms.items import ItemName
+from .dynamic import TaskResult, default_batch
+from .pipeline import BlockPipeline
 from .runner import DirectRunner, ShareRun
 from .shm import ShmBlockStore
 
@@ -57,6 +61,16 @@ class ShareResult:
     #: collapsed-stack sample counts from the worker-side sampling
     #: profiler (None unless the pool was built with profiling on).
     folded: dict | None = None
+    #: seconds spent waiting — claim-lock contention inside the worker
+    #: plus the parent-added tail idle after the worker's last task.
+    idle_s: float = 0.0
+    #: tasks executed beyond this worker's static fair share (work it
+    #: would never have seen under the one-share-per-worker split).
+    steals: int = 0
+    #: per-task records from a dynamic drain, in execution order; the
+    #: canonical ``task_index`` on each is the merge key.  None for
+    #: static shares.
+    tasks: list[TaskResult] | None = None
 
     @property
     def seconds(self) -> float:
@@ -74,14 +88,23 @@ def pick_start_method(requested: str | None = None) -> str:
 
 # Per-worker-process state, set once by the pool initializer.  A module
 # global (not a closure) so spawned workers can find it after import.
+# The ticket counter rides in through initargs because a shared Value
+# only pickles while a process is being spawned, never through
+# ``executor.submit`` arguments.
 _WORKER_STORE: ShmBlockStore | None = None
 _PROFILE_INTERVAL: float | None = None
+_TICKET: Any = None
 
 
-def _pool_init(manifest: dict, profile_interval: float | None = None) -> None:
-    global _WORKER_STORE, _PROFILE_INTERVAL
+def _pool_init(
+    manifest: dict,
+    profile_interval: float | None = None,
+    ticket: Any = None,
+) -> None:
+    global _WORKER_STORE, _PROFILE_INTERVAL, _TICKET
     _WORKER_STORE = ShmBlockStore.attach(manifest)
     _PROFILE_INTERVAL = profile_interval
+    _TICKET = ticket
 
 
 def _worker_store() -> ShmBlockStore:
@@ -134,6 +157,127 @@ def _run_share_task(
     )
 
 
+def _claim(n_tasks: int, batch: int) -> tuple[int, int, float]:
+    """Claim the next batch of task tickets: ``[lo, hi)`` plus the
+    seconds spent waiting on the counter lock (charged to idle)."""
+    if _TICKET is None:
+        raise RuntimeError("worker has no shared ticket counter")
+    t0 = time.perf_counter()
+    with _TICKET.get_lock():
+        waited = time.perf_counter() - t0
+        lo = int(_TICKET.value)
+        hi = min(lo + batch, n_tasks)
+        _TICKET.value = hi
+    return lo, hi, waited
+
+
+def _drain_tasks(
+    command: Command,
+    ctx: CommandContext,
+    tasks: list[Any],
+    order: list[int],
+    worker_index: int,
+    n_workers: int,
+    batch: int,
+    derived: dict | None = None,
+    pipeline: bool = False,
+) -> ShareResult:
+    """One worker's dynamic drain loop: claim batches off the shared
+    ticket counter and execute until the tickets run out.
+
+    ``order`` maps ticket position -> canonical task index (LPT by cost
+    estimate), so heavy tasks start first while payloads stay keyed by
+    canonical index for the order-independent merge.  With ``pipeline``
+    the worker runs a :class:`BlockPipeline` and claims its *next*
+    batch one task early, so the background thread always knows the
+    upcoming block while the current one extracts.
+    """
+    import os
+
+    if derived:
+        _worker_store().sync_derived(derived)
+    sampler = None
+    if _PROFILE_INTERVAL is not None:
+        from ..obs.profiling import StackSampler
+
+        sampler = StackSampler(interval=_PROFILE_INTERVAL).start()
+    n_tasks = len(order)
+    fair_share = math.ceil(n_tasks / max(n_workers, 1))
+    pl = BlockPipeline(_provide) if pipeline else None
+    runner = DirectRunner(_provide, pipeline=pl)
+    idle_s = 0.0
+    steals = 0
+    executed = 0
+    records: list[TaskResult] = []
+    payloads: list[Any] = []
+    n_loads = n_computes = n_emits = emitted_nbytes = 0
+    queue: deque[int] = deque()
+    exhausted = False
+    t_run0 = time.perf_counter()
+    try:
+        while True:
+            # Refill — eagerly one task early when pipelining, so the
+            # next block is known before the last queued task runs.
+            low_water = 1 if pl is not None else 0
+            if len(queue) <= low_water and not exhausted:
+                lo, hi, waited = _claim(n_tasks, batch)
+                idle_s += waited
+                queue.extend(range(lo, hi))
+                exhausted = hi >= n_tasks
+            if not queue:
+                break
+            task_index = order[queue.popleft()]
+            if pl is not None:
+                pl.schedule(command.item_sequence_for(ctx, tasks[task_index]))
+                if queue:
+                    nxt = order[queue[0]]
+                    pl.schedule(command.item_sequence_for(ctx, tasks[nxt]))
+            t0 = time.perf_counter()
+            run: ShareRun = runner.run_share(
+                command, ctx, tasks[task_index], worker_index
+            )
+            t1 = time.perf_counter()
+            executed += 1
+            if executed > fair_share:
+                steals += 1
+            records.append(
+                TaskResult(
+                    task_index=task_index,
+                    payloads=run.payloads,
+                    n_loads=run.n_loads,
+                    n_computes=run.n_computes,
+                    n_emits=run.n_emits,
+                    emitted_nbytes=run.emitted_nbytes,
+                    seconds=t1 - t0,
+                )
+            )
+            payloads.extend(run.payloads)
+            n_loads += run.n_loads
+            n_computes += run.n_computes
+            n_emits += run.n_emits
+            emitted_nbytes += run.emitted_nbytes
+    finally:
+        if pl is not None:
+            pl.close()
+    t_run1 = time.perf_counter()
+    folded = sampler.stop() if sampler is not None else None
+    return ShareResult(
+        share_index=worker_index,
+        payloads=payloads,
+        n_loads=n_loads,
+        n_computes=n_computes,
+        n_emits=n_emits,
+        emitted_nbytes=emitted_nbytes,
+        t_start=t_run0,
+        t_end=t_run1,
+        pid=os.getpid(),
+        folded=folded,
+        idle_s=idle_s,
+        steals=steals,
+        tasks=records,
+    )
+
+
 def _derive_field_task(
     time_index: int, block_id: int, field_name: str, velocity: str
 ) -> tuple[int, int, Any]:
@@ -167,11 +311,15 @@ class ProcessWorkerPool:
         #: seconds between worker-side stack samples; None = no profiling.
         self.profile_interval = profile_interval
         ctx = multiprocessing.get_context(self.start_method)
+        #: shared ticket counter for dynamic drains; created before the
+        #: executor so it is inheritable (fork) / spawn-picklable via
+        #: initargs — submit() args cannot carry it.
+        self._ticket = ctx.Value("q", 0)
         self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=ctx,
             initializer=_pool_init,
-            initargs=(store.manifest(), profile_interval),
+            initargs=(store.manifest(), profile_interval, self._ticket),
         )
 
     # ------------------------------------------------------------- shares
@@ -196,6 +344,66 @@ class ProcessWorkerPool:
             self.close()
             raise WorkerPoolError(
                 "a worker process died before finishing its share; "
+                "the pool has been shut down"
+            ) from exc
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results
+
+    def run_tasks(
+        self,
+        command: Command,
+        ctx: CommandContext,
+        tasks: Sequence[Any],
+        order: Sequence[int],
+        batch: int | None = None,
+        pipeline: bool = False,
+    ) -> list[ShareResult]:
+        """Dynamic execution: every worker drains the shared ticket
+        counter until the tasks run out (work stealing by omission).
+
+        ``order`` positions tickets in execution order (LPT over cost
+        estimates); results keep canonical ``task_index`` keys, so
+        :func:`~repro.parallel.dynamic.payload_lists` reassembles the
+        serial payload sequence regardless of interleaving.  Returns
+        one :class:`ShareResult` per participating worker.
+        """
+        executor = self._require_executor()
+        if sorted(order) != list(range(len(tasks))):
+            raise ValueError("order must be a permutation of the task indices")
+        derived = self.store.derived_manifest() or None
+        # The pool is quiescent between runs, so the parent can reset
+        # the counter without racing a drain.
+        with self._ticket.get_lock():
+            self._ticket.value = 0
+        n_active = max(1, min(self.n_workers, len(tasks)))
+        if batch is None:
+            batch = default_batch(len(tasks), n_active)
+        futures = [
+            executor.submit(
+                _drain_tasks,
+                command,
+                ctx,
+                list(tasks),
+                list(order),
+                w,
+                n_active,
+                batch,
+                derived,
+                pipeline,
+            )
+            for w in range(n_active)
+        ]
+        results: list[ShareResult] = []
+        try:
+            for future in futures:
+                results.append(future.result())
+        except BrokenProcessPool as exc:
+            self.close()
+            raise WorkerPoolError(
+                "a worker process died before finishing its drain; "
                 "the pool has been shut down"
             ) from exc
         except BaseException:

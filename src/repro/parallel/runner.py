@@ -44,13 +44,29 @@ class ShareRun:
 
 
 class DirectRunner:
-    """Interpret command op streams against a real block provider."""
+    """Interpret command op streams against a real block provider.
 
-    def __init__(self, provider: Callable[[ItemName], Any]):
+    With a :class:`~repro.parallel.pipeline.BlockPipeline` attached,
+    each share's upcoming block sequence is scheduled for background
+    materialization on entry and every ``Load`` drains the pipeline
+    first — the next block's lazy ``<f4`` views upcast to float64 while
+    the current block extracts (double-buffered load/compute overlap).
+    Bytes are unchanged either way: the pipeline returns the provider's
+    own object with its fields pre-touched.
+    """
+
+    def __init__(self, provider: Callable[[ItemName], Any], pipeline=None):
         self.provider = provider
+        #: optional BlockPipeline for load/compute overlap.
+        self.pipeline = pipeline
         #: runner-local memo for ComputeCached results; providers only
         #: understand block items, so derived items never hit them.
         self._derived: dict[ItemName, Any] = {}
+
+    def _fetch(self, item: ItemName) -> Any:
+        if self.pipeline is not None:
+            return self.pipeline.get(item)
+        return self.provider(item)
 
     def run_share(
         self,
@@ -61,6 +77,8 @@ class DirectRunner:
     ) -> ShareRun:
         """Drive one share's generator to exhaustion; payloads in order."""
         run = ShareRun(worker_index=worker_index)
+        if self.pipeline is not None:
+            self.pipeline.schedule(command.item_sequence_for(ctx, assignment))
         gen = command.run(ctx, assignment, worker_index)
         result: Any = None
         while True:
@@ -70,7 +88,7 @@ class DirectRunner:
                 break
             result = None
             if isinstance(op, Load):
-                result = self.provider(op.item)
+                result = self._fetch(op.item)
                 run.n_loads += 1
             elif isinstance(op, Compute):
                 run.n_computes += 1
@@ -89,7 +107,10 @@ class DirectRunner:
                 run.n_emits += 1
                 run.emitted_nbytes += int(op.nbytes)
             elif isinstance(op, Prefetch):
-                pass  # shared memory is already resident
+                # Shared memory is already resident; with a pipeline the
+                # hint still buys the background float64 materialization.
+                if self.pipeline is not None:
+                    self.pipeline.schedule([op.item])
             else:
                 raise TypeError(f"command yielded unknown op {op!r}")
         return run

@@ -4,7 +4,7 @@ import pytest
 
 from repro import ViracochaSession, build_engine
 from repro.bench import paper_cluster, paper_costs
-from repro.core import split_balanced
+from repro.core import lpt_order, split_balanced
 
 
 def test_split_balanced_validation():
@@ -46,6 +46,37 @@ def test_split_balanced_all_items_assigned_once():
     shares = split_balanced(items, weights, 4)
     flat = sorted(x for share in shares for x in share)
     assert flat == items
+
+
+def test_lpt_order_tie_breaks_pinned():
+    """Equal-cost items must order by ascending index on any platform.
+
+    The simulated fingerprints, the parallel equivalence suite and both
+    dynamic schedulers all assume this exact order for ties; a sort
+    implementation detail silently changing it would break byte-level
+    reproducibility, so the rule is pinned here.
+    """
+    assert lpt_order([]) == []
+    assert lpt_order([1.0, 1.0, 1.0, 1.0]) == [0, 1, 2, 3]
+    assert lpt_order([2.0, 1.0, 2.0, 1.0, 3.0]) == [4, 0, 2, 1, 3]
+    # Integer and float weights that compare equal tie-break the same.
+    assert lpt_order([1, 1.0, 2, 2.0]) == [2, 3, 0, 1]
+
+
+def test_split_balanced_equal_weights_partition_pinned():
+    """With all-equal weights LPT degenerates to a round-robin deal —
+    item i on worker i % n — because the index tie-break takes items in
+    input order and the lowest-index worker wins equal loads."""
+    shares = split_balanced(list(range(8)), [3.0] * 8, 4)
+    assert shares == [[0, 4], [1, 5], [2, 6], [3, 7]]
+
+
+def test_split_balanced_reproducible_across_runs():
+    items = list(range(23))
+    weights = [float((i * 13) % 7) for i in items]
+    first = split_balanced(items, weights, 3)
+    for _ in range(5):
+        assert split_balanced(items, weights, 3) == first
 
 
 def test_balanced_distribution_no_regression_and_same_result():

@@ -1,0 +1,108 @@
+"""The DES mirror of dynamic scheduling (``schedule="dynamic"``).
+
+Simulated time is deterministic, so these are exact assertions: the
+dynamic drain must reproduce the canonical group-1 merge bytes, record
+its steal/idle bookkeeping, refuse to compose with fault recovery, and
+leave the default static path — and therefore every golden fingerprint
+and chaos pin — completely untouched.
+"""
+
+import pytest
+
+from repro import ViracochaSession
+from repro.bench import paper_cluster, paper_costs
+from repro.core.scheduler import RecoveryPolicy
+from tests.conftest import cached_engine
+
+ISO = {"isovalue": 0.0, "scalar": "pressure", "time_range": (0, 2)}
+
+
+def _session(n_workers=4, recovery=None):
+    return ViracochaSession(
+        cached_engine(4, 2),
+        n_workers=n_workers,
+        cluster_config=paper_cluster(n_workers),
+        costs=paper_costs(),
+        recovery=recovery,
+    )
+
+
+def _bytes(geometry) -> bytes:
+    return geometry.vertices.tobytes() + geometry.triangles.tobytes()
+
+
+@pytest.mark.parametrize("schedule", ["dynamic", "dynamic+pipeline"])
+def test_dynamic_matches_group1_bytes(schedule):
+    reference = _session().run("iso-dataman", params=dict(ISO), group_size=1)
+    got = _session().run(
+        "iso-dataman",
+        params=dict(ISO, schedule=schedule, steal_batch=1),
+        group_size=4,
+    )
+    assert got.geometry.n_triangles == reference.geometry.n_triangles
+    assert _bytes(got.geometry) == _bytes(reference.geometry)
+
+
+def test_dynamic_records_steals_and_idle():
+    session = _session()
+    session.run(
+        "iso-dataman",
+        params=dict(ISO, schedule="dynamic", steal_batch=1),
+        group_size=4,
+    )
+    record = session.scheduler.history[-1]
+    assert record.steals >= 0
+    assert record.idle_seconds >= 0.0
+    assert len(record.shares) == 4
+    # Every block was executed by someone.
+    assert sum(len(s.payloads) for s in record.shares) > 0
+
+
+def test_static_records_keep_default_accounting():
+    """Static runs must not grow steal/idle numbers — the RunRecord
+    fields default to zero so existing fingerprints stay stable."""
+    session = _session()
+    session.run("iso-dataman", params=dict(ISO), group_size=4)
+    record = session.scheduler.history[-1]
+    assert record.steals == 0
+    assert record.idle_seconds == 0.0
+
+
+def test_dynamic_rejects_recovery_policy():
+    session = _session(recovery=RecoveryPolicy(max_retries=2))
+    with pytest.raises(RuntimeError, match="dynamic"):
+        session.run(
+            "iso-dataman",
+            params=dict(ISO, schedule="dynamic"),
+            group_size=4,
+        )
+
+
+def test_dynamic_steal_batch_param_bounds():
+    """Any positive steal_batch drains all tasks exactly once."""
+    reference = _session().run("iso-dataman", params=dict(ISO), group_size=1)
+    for batch in (1, 7, 10_000):
+        got = _session().run(
+            "iso-dataman",
+            params=dict(ISO, schedule="dynamic", steal_batch=batch),
+            group_size=4,
+        )
+        assert _bytes(got.geometry) == _bytes(reference.geometry)
+
+
+def test_dynamic_streaming_command_completes():
+    """Streaming commands (viewer iso) run under the dynamic drain too:
+    packets flow from whichever worker claims each task."""
+    session = _session()
+    result = session.run(
+        "iso-viewer",
+        params={
+            "isovalue": 0.0,
+            "scalar": "pressure",
+            "time_range": (0, 1),
+            "viewpoint": (0.0, 0.0, 4.0),
+            "schedule": "dynamic",
+        },
+        group_size=4,
+    )
+    assert result.n_packets > 0, "viewer command should stream packets"

@@ -1,0 +1,130 @@
+"""Property-based proof that steal interleavings can't corrupt output.
+
+A dynamic run is, in the end, a partition of the canonical task list
+into per-worker claim sequences plus an interleaving of their
+completions.  A seeded fake pool below replays *arbitrary* such
+schedules — any batch split, any claim order, any completion shuffle —
+against per-task payloads computed once by the real serial runner.
+Whatever the schedule, canonical reassembly (:func:`payload_lists`)
+plus the command's merge must reproduce the serial group-1 bytes, and
+batched pathlines must keep every particle in its seed's demand slot.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commands import default_registry
+from repro.parallel.dynamic import TaskResult, payload_lists
+from repro.parallel.runner import DirectRunner
+
+from .test_equivalence import ISO, PATHLINES, _mesh_bytes
+
+REGISTRY = default_registry()
+
+
+class FakeStealingPool:
+    """Deterministic replay of one steal schedule.
+
+    ``seed`` drives batch sizes, which worker claims next, and the
+    order completions are observed — the degrees of freedom a real
+    ticket-counter pool has.  Payloads come from ``task_payloads``
+    (computed once, serially), so the only thing under test is the
+    scheduling/reassembly machinery itself.
+    """
+
+    def __init__(self, n_workers: int, seed: int):
+        self.n_workers = n_workers
+        self.rng = random.Random(seed)
+
+    def run(self, task_payloads: list[list]) -> list[TaskResult]:
+        n_tasks = len(task_payloads)
+        # Arbitrary initial order (the cost model could impose any).
+        order = list(range(n_tasks))
+        self.rng.shuffle(order)
+        pos = 0
+        claims: list[list[int]] = [[] for _ in range(self.n_workers)]
+        while pos < n_tasks:
+            batch = self.rng.randint(1, max(1, n_tasks // 2))
+            worker = self.rng.randrange(self.n_workers)
+            claims[worker].extend(order[pos:pos + batch])
+            pos += batch
+        records = [
+            TaskResult(task_index=tidx, payloads=list(task_payloads[tidx]))
+            for claimed in claims
+            for tidx in claimed
+        ]
+        # Completions arrive in arbitrary global order.
+        self.rng.shuffle(records)
+        return records
+
+
+def _task_payloads(store, command_name, params):
+    """Each canonical task executed once by the real serial runner."""
+    from repro.parallel import ParallelExtractor
+
+    command = REGISTRY.create(command_name)
+    runner = DirectRunner(
+        lambda item: store.read_block(
+            int(item.param("time")), int(item.param("block"))
+        )
+    )
+    with ParallelExtractor(store, workers=1, executor="serial") as ext:
+        ctx = ext._context(dict(params))
+        tasks = command.plan_tasks(ctx)
+        payloads = [
+            list(runner.run_share(command, ctx, task, 0).payloads)
+            for task in tasks
+        ]
+    return command, payloads
+
+
+@pytest.fixture(scope="module")
+def iso_reference(engine_store):
+    command, payloads = _task_payloads(engine_store, "iso-dataman", ISO)
+    merged = command.merge(payloads)
+    return command, payloads, _mesh_bytes(merged)
+
+
+@pytest.fixture(scope="module")
+def pathline_reference(engine_store):
+    command, payloads = _task_payloads(
+        engine_store, "pathlines-dataman", PATHLINES
+    )
+    merged = command.merge(payloads)
+    return command, payloads, merged
+
+
+@given(seed=st.integers(0, 10_000), n_workers=st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_any_steal_interleaving_preserves_iso_bytes(
+    iso_reference, seed, n_workers
+):
+    command, payloads, ref_bytes = iso_reference
+    records = FakeStealingPool(n_workers, seed).run(payloads)
+    merged = command.merge(payload_lists(records, len(payloads)))
+    assert _mesh_bytes(merged) == ref_bytes
+
+
+@given(seed=st.integers(0, 10_000), n_workers=st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_any_steal_interleaving_preserves_pathline_demand_order(
+    pathline_reference, seed, n_workers
+):
+    command, payloads, reference = pathline_reference
+    records = FakeStealingPool(n_workers, seed).run(payloads)
+    merged = command.merge(payload_lists(records, len(payloads)))
+    assert len(merged) == len(reference) == len(PATHLINES["seeds"])
+    for got, ref in zip(merged, reference):
+        assert got.points.tobytes() == ref.points.tobytes()
+        assert got.times.tobytes() == ref.times.tobytes()
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_fake_pool_covers_every_task_exactly_once(iso_reference, seed):
+    _, payloads, _ = iso_reference
+    records = FakeStealingPool(3, seed).run(payloads)
+    assert sorted(r.task_index for r in records) == list(range(len(payloads)))
